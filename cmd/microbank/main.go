@@ -1,0 +1,223 @@
+// Command microbank regenerates the paper's tables and figures and
+// runs ad-hoc simulations of the μbank memory system.
+//
+// Usage:
+//
+//	microbank -exp fig8                 # regenerate Fig. 8 (relative IPC grids)
+//	microbank -exp all -quick           # every experiment, reduced fidelity
+//	microbank -exp run -workload 429.mcf -nw 2 -nb 8 -policy open
+//	microbank -exp list                 # list experiments and workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"microbank/internal/config"
+	"microbank/internal/experiments"
+	"microbank/internal/stats"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "list", "experiment id: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline ablations related all run list")
+		instr  = flag.Uint64("instr", 0, "per-core instruction budget (0 = default)")
+		cores  = flag.Int("cores", 0, "cores for multicore workloads (0 = default)")
+		quick  = flag.Bool("quick", false, "reduced workload sets and budgets")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		beta   = flag.Float64("beta", 1.0, "activates per column access for fig1/fig6b")
+		wl     = flag.String("workload", "429.mcf", "workload for -exp run")
+		nw     = flag.Int("nw", 1, "wordline partitions for -exp run")
+		nb     = flag.Int("nb", 1, "bitline partitions for -exp run")
+		iface  = flag.String("interface", "LPDDR-TSI", "DDR3-PCB | DDR3-TSI | LPDDR-TSI")
+		policy = flag.String("policy", "open", "page policy: open close minimalist local global tournament perfect")
+		ibit   = flag.Int("ib", 13, "interleave base bit (6 = cache line, 13 = row)")
+		svgOut = flag.String("svg", "", "also write grid experiments (fig6a/fig6b/fig8/fig9) as SVG heatmaps with this filename prefix")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed}
+	svgPrefix = *svgOut
+	start := time.Now()
+	if err := dispatch(*exp, o, *beta, *wl, *nw, *nb, *iface, *policy, *ibit); err != nil {
+		fmt.Fprintln(os.Stderr, "microbank:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(elapsed %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// svgPrefix, when set, makes grid experiments also emit SVG heatmaps.
+var svgPrefix string
+
+// writeSVG emits a grid heatmap next to the textual table.
+func writeSVG(g *experiments.GridData, name, title string) error {
+	if svgPrefix == "" {
+		return nil
+	}
+	path := svgPrefix + name + ".svg"
+	if err := os.WriteFile(path, []byte(g.SVG(title)), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func dispatch(exp string, o experiments.Options, beta float64,
+	wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+	switch exp {
+	case "list":
+		fmt.Println("experiments: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline all run")
+		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
+		fmt.Println("workload sets: spec-high spec-all mix-high mix-blend")
+		return nil
+	case "table1":
+		fmt.Println(experiments.Table1())
+	case "table2":
+		fmt.Println(experiments.Table2())
+	case "fig1":
+		fmt.Println(experiments.Fig1(beta, 8))
+	case "fig6a":
+		g := experiments.Fig6a()
+		fmt.Println(g.Table("Fig. 6a: relative DRAM die area"))
+		if err := writeSVG(g, "fig6a", "Fig. 6a: relative DRAM die area"); err != nil {
+			return err
+		}
+	case "fig6b":
+		fmt.Println(experiments.Fig6b(beta).Table(fmt.Sprintf("Fig. 6b: relative energy per read, beta=%.1f", beta)))
+		fmt.Println(experiments.Fig6b(0.1).Table("Fig. 6b: relative energy per read, beta=0.1"))
+	case "fig8", "fig9":
+		ipc, edp, err := experiments.Fig8And9(o)
+		if err != nil {
+			return err
+		}
+		for i := range ipc {
+			if exp == "fig8" {
+				fmt.Println(ipc[i].Table("Fig. 8: relative IPC, " + ipc[i].Workload))
+				if err := writeSVG(ipc[i], "fig8-"+ipc[i].Workload, "Fig. 8: relative IPC, "+ipc[i].Workload); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(edp[i].Table("Fig. 9: relative 1/EDP, " + edp[i].Workload))
+				if err := writeSVG(edp[i], "fig9-"+edp[i].Workload, "Fig. 9: relative 1/EDP, "+edp[i].Workload); err != nil {
+					return err
+				}
+			}
+		}
+	case "fig10":
+		rows, err := experiments.Fig10(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig10Table(rows))
+	case "fig11":
+		fmt.Println(experiments.Fig11())
+	case "fig12":
+		rows, err := experiments.Fig12(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig12Table(rows))
+	case "fig13":
+		rows, err := experiments.Fig13(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig13Table(rows))
+	case "fig14":
+		rows, err := experiments.Fig14(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig14Table(rows))
+	case "headline":
+		h, err := experiments.Headline(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.HeadlineTable(h))
+	case "ablations":
+		tb, err := experiments.Ablations(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "related":
+		rows, err := experiments.RelatedWork(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RelatedWorkTable(rows))
+	case "all":
+		for _, id := range []string{"table1", "table2", "fig1", "fig6a", "fig6b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "headline", "ablations", "related"} {
+			if err := dispatch(id, o, beta, wl, nw, nb, ifaceName, policyName, ibit); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+	case "run":
+		return runCustom(o, wl, nw, nb, ifaceName, policyName, ibit)
+	default:
+		return fmt.Errorf("unknown experiment %q (try -exp list)", exp)
+	}
+	return nil
+}
+
+// runCustom executes one ad-hoc configuration and prints a summary.
+func runCustom(o experiments.Options, wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+	var iface config.Interface
+	switch ifaceName {
+	case "DDR3-PCB":
+		iface = config.DDR3PCB
+	case "DDR3-TSI":
+		iface = config.DDR3TSI
+	case "LPDDR-TSI":
+		iface = config.LPDDRTSI
+	default:
+		return fmt.Errorf("unknown interface %q", ifaceName)
+	}
+	policies := map[string]config.PagePolicy{
+		"open": config.OpenPage, "close": config.ClosePage, "minimalist": config.MinimalistOpen,
+		"local": config.PredLocal, "global": config.PredGlobal,
+		"tournament": config.PredTournament, "perfect": config.PredPerfect,
+	}
+	pol, ok := policies[policyName]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	prof, err := workload.Get(wl)
+	if err != nil {
+		return err
+	}
+	if o.Instr == 0 {
+		o.Instr = 240000
+	}
+	sys := config.SingleCore(config.MemPreset(iface, nw, nb))
+	sys.Ctrl.PagePolicy = pol
+	sys.Ctrl.InterleaveBit = ibit
+	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
+	spec.WarmupInstr = o.Instr / 2
+	res, err := system.Run(spec)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%d,%d), %s page, iB=%d",
+		wl, ifaceName, nw, nb, policyName, ibit), "Metric", "Value")
+	t.AddRow("IPC", res.IPC)
+	t.AddRow("MAPKI", res.MAPKI)
+	t.AddRow("Row-buffer hit rate", res.RowHitRate)
+	t.AddRow("Avg read latency (ns)", res.AvgReadLatencyNS)
+	t.AddRow("L1 / L2 hit rate", fmt.Sprintf("%.3f / %.3f", res.L1HitRate, res.L2HitRate))
+	t.AddRow("Predictor hit rate", res.PredHitRate)
+	t.AddRow("Processor power (W)", res.Breakdown.ProcessorW())
+	t.AddRow("ACT/PRE power (W)", res.Breakdown.ActPreW())
+	t.AddRow("DRAM static power (W)", res.Breakdown.DRAMStaticW())
+	t.AddRow("RD/WR power (W)", res.Breakdown.RdWrW())
+	t.AddRow("I/O power (W)", res.Breakdown.IOW())
+	t.AddRow("EDP (J·s)", fmt.Sprintf("%.3e", res.Breakdown.EDPJs()))
+	fmt.Println(t)
+	return nil
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate one memory-intensive SPEC workload on the
+// baseline DRAM organization and on a μbank-partitioned device, and
+// print the paper's headline metrics side by side.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microbank"
+)
+
+func main() {
+	const (
+		instr  = 200_000
+		warmup = 100_000
+		seed   = 42
+	)
+	prof := microbank.Workload("429.mcf")
+
+	run := func(nW, nB int) microbank.Result {
+		mem := microbank.MemPreset(microbank.LPDDRTSI, nW, nB)
+		sys := microbank.SingleCore(mem)
+		spec := microbank.UniformSpec(sys, prof, instr, seed)
+		spec.WarmupInstr = warmup
+		res, err := microbank.Run(spec)
+		if err != nil {
+			log.Fatalf("simulation failed: %v", err)
+		}
+		return res
+	}
+
+	base := run(1, 1) // conventional banks
+	ub := run(4, 4)   // 16 μbanks per bank, <2% die-area overhead
+
+	fmt.Println("429.mcf on LPDDR-TSI, conventional banks vs (4,4) μbanks")
+	fmt.Printf("%-28s %12s %12s\n", "metric", "(1,1)", "(4,4)")
+	row := func(name string, a, b float64) {
+		fmt.Printf("%-28s %12.3f %12.3f\n", name, a, b)
+	}
+	row("IPC", base.IPC, ub.IPC)
+	row("row-buffer hit rate", base.RowHitRate, ub.RowHitRate)
+	row("avg read latency (ns)", base.AvgReadLatencyNS, ub.AvgReadLatencyNS)
+	row("ACT/PRE power (W)", base.Breakdown.ActPreW(), ub.Breakdown.ActPreW())
+	row("total power (W)", base.Breakdown.TotalW(), ub.Breakdown.TotalW())
+	fmt.Printf("%-28s %12.3f %12.3f\n", "EDP (normalized)",
+		1.0, ub.Breakdown.EDPJs()/base.Breakdown.EDPJs())
+	fmt.Printf("\nμbank speedup: %.2fx IPC, %.2fx 1/EDP, at %.1f%% die-area overhead\n",
+		ub.IPC/base.IPC,
+		base.Breakdown.EDPJs()/ub.Breakdown.EDPJs(),
+		100*(microbank.RelativeArea(4, 4)-1))
+}

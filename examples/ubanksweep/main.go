@@ -1,0 +1,80 @@
+// μbank design-space sweep (the §IV / Fig. 6+8 question): how should a
+// bank be partitioned between the wordline (nW) and bitline (nB)
+// directions under a die-area budget?
+//
+// For every (nW, nB) on the paper's grid this example combines the
+// analytic area model with a simulated IPC/EDP measurement of a
+// database workload and reports the best configuration under a 3%
+// area-overhead constraint — the paper's representative-configuration
+// selection process.
+//
+// Run with:
+//
+//	go run ./examples/ubanksweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microbank"
+)
+
+func main() {
+	axis := []int{1, 2, 4, 8, 16}
+	prof := microbank.Workload("TPC-H")
+
+	type point struct {
+		nW, nB int
+		area   float64
+		ipc    float64
+		edp    float64
+	}
+	var pts []point
+	var base point
+
+	for _, nB := range axis {
+		for _, nW := range axis {
+			mem := microbank.MemPreset(microbank.LPDDRTSI, nW, nB)
+			sys := microbank.SingleCore(mem)
+			spec := microbank.UniformSpec(sys, prof, 120_000, 3)
+			spec.WarmupInstr = 60_000
+			res, err := microbank.Run(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := point{nW: nW, nB: nB, area: microbank.RelativeArea(nW, nB),
+				ipc: res.IPC, edp: res.Breakdown.EDPJs()}
+			if nW == 1 && nB == 1 {
+				base = p
+			}
+			pts = append(pts, p)
+		}
+	}
+
+	fmt.Println("TPC-H design space: relative IPC / relative 1/EDP / area overhead")
+	fmt.Printf("%8s", "nB\\nW")
+	for _, w := range axis {
+		fmt.Printf(" %18d", w)
+	}
+	fmt.Println()
+	i := 0
+	for range axis {
+		fmt.Printf("%8d", pts[i].nB)
+		for range axis {
+			p := pts[i]
+			fmt.Printf("  %.2f/%.2f/%4.1f%%", p.ipc/base.ipc, base.edp/p.edp, 100*(p.area-1))
+			i++
+		}
+		fmt.Println()
+	}
+
+	best := base
+	for _, p := range pts {
+		if p.area-1 < 0.03 && base.edp/p.edp > base.edp/best.edp {
+			best = p
+		}
+	}
+	fmt.Printf("\nBest <3%%-area configuration: (nW,nB) = (%d,%d): %.2fx IPC, %.2fx 1/EDP, %.1f%% area\n",
+		best.nW, best.nB, best.ipc/base.ipc, base.edp/best.edp, 100*(best.area-1))
+}

@@ -1,0 +1,3 @@
+module microbank
+
+go 1.22

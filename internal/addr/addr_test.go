@@ -1,0 +1,285 @@
+package addr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/config"
+)
+
+func org(nW, nB int) config.Org {
+	return config.MemPreset(config.LPDDRTSI, nW, nB).Org
+}
+
+func TestNewMapperIBRange(t *testing.T) {
+	o := org(1, 1) // 8 KB μrow ⇒ iB ∈ [6,13]
+	for iB := 6; iB <= 13; iB++ {
+		if _, err := NewMapper(o, iB); err != nil {
+			t.Errorf("iB=%d rejected: %v", iB, err)
+		}
+	}
+	for _, iB := range []int{5, 14, 0, -1} {
+		if _, err := NewMapper(o, iB); err == nil {
+			t.Errorf("iB=%d accepted", iB)
+		}
+	}
+	// (2,8): μrow = 4 KB ⇒ max iB = 12, matching Fig. 12's x-axis.
+	o28 := org(2, 8)
+	if _, err := NewMapper(o28, 12); err != nil {
+		t.Errorf("(2,8) iB=12 rejected: %v", err)
+	}
+	if _, err := NewMapper(o28, 13); err == nil {
+		t.Error("(2,8) iB=13 accepted; μrow is only 4 KB")
+	}
+	// (8,2): μrow = 1 KB ⇒ max iB = 10.
+	if _, err := NewMapper(org(8, 2), 11); err == nil {
+		t.Error("(8,2) iB=11 accepted")
+	}
+}
+
+func TestMapperRejectsBadOrg(t *testing.T) {
+	o := org(1, 1)
+	o.NW = 3
+	if _, err := NewMapper(o, 6); err == nil {
+		t.Fatal("bad org accepted")
+	}
+}
+
+func TestMustMapperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMapper did not panic")
+		}
+	}()
+	MustMapper(org(1, 1), 99)
+}
+
+func TestMapUnmapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}, {16, 16}} {
+		o := org(cfg[0], cfg[1])
+		maxIB := 13 - trailing(cfg[0])
+		for iB := 6; iB <= maxIB; iB++ {
+			m := MustMapper(o, iB)
+			for i := 0; i < 200; i++ {
+				pa := rng.Uint64() % (uint64(o.CapacityGB) << 30)
+				pa &^= 63 // line aligned
+				l := m.Map(pa)
+				if got := m.Unmap(l); got != pa {
+					t.Fatalf("(%d,%d) iB=%d: Unmap(Map(%#x)) = %#x", cfg[0], cfg[1], iB, pa, got)
+				}
+			}
+		}
+	}
+}
+
+func trailing(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func TestFieldRanges(t *testing.T) {
+	o := org(4, 4)
+	m := MustMapper(o, 8)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		pa := rng.Uint64() % (uint64(o.CapacityGB) << 30)
+		l := m.Map(pa)
+		if l.Channel < 0 || l.Channel >= o.Channels {
+			t.Fatalf("channel %d out of range", l.Channel)
+		}
+		if l.Rank < 0 || l.Rank >= o.RanksPerChan {
+			t.Fatalf("rank %d out of range", l.Rank)
+		}
+		if l.Bank < 0 || l.Bank >= o.BanksPerRank {
+			t.Fatalf("bank %d out of range", l.Bank)
+		}
+		if l.Micro < 0 || l.Micro >= o.NW*o.NB {
+			t.Fatalf("micro %d out of range", l.Micro)
+		}
+		if int(l.Col) >= o.LinesPerRow() {
+			t.Fatalf("col %d out of range (%d lines/row)", l.Col, o.LinesPerRow())
+		}
+	}
+}
+
+func TestCacheLineInterleavingSpreadsChannels(t *testing.T) {
+	o := org(1, 1)
+	m := MustMapper(o, 6)
+	// Consecutive cache lines must land on consecutive channels.
+	for i := 0; i < 64; i++ {
+		pa := uint64(i) * 64
+		l := m.Map(pa)
+		if l.Channel != i%o.Channels {
+			t.Fatalf("line %d on channel %d, want %d", i, l.Channel, i%o.Channels)
+		}
+	}
+}
+
+func TestRowInterleavingKeepsRowTogether(t *testing.T) {
+	o := org(1, 1)
+	m := MustMapper(o, 13) // 8 KB row interleaving
+	base := m.Map(uint64(0))
+	for i := 0; i < 128; i++ { // all 128 lines of an 8 KB row
+		l := m.Map(uint64(i) * 64)
+		if l.Channel != base.Channel || l.Bank != base.Bank || l.Row != base.Row || l.Micro != base.Micro {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, l, base)
+		}
+		if l.Col != uint32(i) {
+			t.Fatalf("line %d col = %d", i, l.Col)
+		}
+	}
+	// The next 8 KB chunk must land elsewhere.
+	next := m.Map(uint64(8192))
+	if next.Channel == base.Channel && next.Bank == base.Bank && next.Micro == base.Micro && next.Row == base.Row {
+		t.Fatal("next row chunk did not move")
+	}
+}
+
+func TestGlobalBankDenseAndStable(t *testing.T) {
+	o := org(2, 2)
+	m := MustMapper(o, 6)
+	seen := map[BankID]Loc{}
+	total := m.Banks()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		pa := rng.Uint64() % (uint64(o.CapacityGB) << 30)
+		l := m.Map(pa)
+		id := m.GlobalBank(l)
+		if int(id) < 0 || int(id) >= total {
+			t.Fatalf("bank id %d out of [0,%d)", id, total)
+		}
+		prev, ok := seen[id]
+		if ok && (prev.Channel != l.Channel || prev.Rank != l.Rank || prev.Bank != l.Bank || prev.Micro != l.Micro) {
+			t.Fatalf("bank id %d collides: %+v vs %+v", id, prev, l)
+		}
+		key := l
+		key.Row, key.Col = 0, 0
+		seen[id] = key
+	}
+	if m.BanksPerChannel()*o.Channels != total {
+		t.Fatalf("BanksPerChannel inconsistent: %d*%d != %d", m.BanksPerChannel(), o.Channels, total)
+	}
+}
+
+func TestLocalBankWithinChannel(t *testing.T) {
+	o := org(4, 2)
+	m := MustMapper(o, 6)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		pa := rng.Uint64() % (uint64(o.CapacityGB) << 30)
+		l := m.Map(pa)
+		lb := m.LocalBank(l)
+		if lb < 0 || lb >= m.BanksPerChannel() {
+			t.Fatalf("local bank %d out of range", lb)
+		}
+		if int(m.GlobalBank(l)) != l.Channel*m.BanksPerChannel()+lb {
+			t.Fatal("GlobalBank and LocalBank disagree")
+		}
+	}
+}
+
+func TestLayoutMentionsFields(t *testing.T) {
+	m := MustMapper(org(2, 8), 8)
+	lay := m.Layout()
+	for _, f := range []string{"line", "chan", "bank", "ubank", "row"} {
+		if !strings.Contains(lay, f) {
+			t.Errorf("layout %q missing %q", lay, f)
+		}
+	}
+	// iB=6 has no low column bits.
+	lay6 := MustMapper(org(2, 8), 6).Layout()
+	if strings.Contains(lay6, "col.lo") {
+		t.Errorf("iB=6 layout should have no low column bits: %q", lay6)
+	}
+}
+
+// Property: round-trip holds for arbitrary line-aligned addresses and
+// all decoded fields stay in range.
+func TestMapProperty(t *testing.T) {
+	o := org(2, 8)
+	m := MustMapper(o, 10)
+	f := func(raw uint64) bool {
+		pa := (raw % (uint64(o.CapacityGB) << 30)) &^ 63
+		l := m.Map(pa)
+		return m.Unmap(l) == pa &&
+			l.Channel < o.Channels && l.Bank < o.BanksPerRank &&
+			l.Micro < o.NW*o.NB && int(l.Col) < o.LinesPerRow()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two addresses that differ only above the row field map to
+// the same channel/bank/μbank but different rows.
+func TestRowFieldIsolationProperty(t *testing.T) {
+	o := org(4, 4)
+	m := MustMapper(o, 9)
+	f := func(raw uint64, delta uint16) bool {
+		pa := (raw % (uint64(o.CapacityGB) << 31)) &^ 63
+		l1 := m.Map(pa)
+		l2 := l1
+		l2.Row = l1.Row + uint32(delta%128) + 1
+		pa2 := m.Unmap(l2)
+		l3 := m.Map(pa2)
+		return l3.Channel == l1.Channel && l3.Bank == l1.Bank &&
+			l3.Micro == l1.Micro && l3.Col == l1.Col && l3.Row == l2.Row
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORHashRoundTrip(t *testing.T) {
+	o := org(2, 8)
+	m, err := NewMapperHashed(o, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		pa := (rng.Uint64() % (uint64(o.CapacityGB) << 30)) &^ 63
+		l := m.Map(pa)
+		if got := m.Unmap(l); got != pa {
+			t.Fatalf("hashed Unmap(Map(%#x)) = %#x", pa, got)
+		}
+		if l.Bank >= o.BanksPerRank || l.Micro >= o.NW*o.NB {
+			t.Fatalf("hashed fields out of range: %+v", l)
+		}
+	}
+}
+
+func TestXORHashBreaksRowAliasing(t *testing.T) {
+	// Addresses one row apart land on the same bank without hashing
+	// only when their row bits collide mod the bank field; a stride of
+	// exactly banks*rows' period aliases. With hashing, consecutive
+	// same-bank rows spread out.
+	o := org(1, 1)
+	plain := MustMapper(o, 13)
+	hashed, _ := NewMapperHashed(o, 13, true)
+	// Stride chosen to alias on the plain mapping: one full bank
+	// rotation (banks × 8 KB × channels).
+	stride := uint64(o.Channels*o.BanksPerRank) * 8192
+	plainBanks := map[int]bool{}
+	hashedBanks := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		pa := uint64(i) * stride
+		pl := plain.Map(pa)
+		hl := hashed.Map(pa)
+		plainBanks[pl.Bank] = true
+		hashedBanks[hl.Bank*100+hl.Micro] = true
+	}
+	if len(plainBanks) != 1 {
+		t.Fatalf("plain mapping should alias to one bank, got %d", len(plainBanks))
+	}
+	if len(hashedBanks) < 4 {
+		t.Fatalf("hashed mapping spread over %d banks, want >= 4", len(hashedBanks))
+	}
+}

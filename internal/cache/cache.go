@@ -1,0 +1,306 @@
+// Package cache implements the on-chip memory hierarchy substrates of
+// the simulated CMP (§VI-A): set-associative write-back caches with
+// LRU replacement and MSHR-based miss handling, plus a MESI reverse
+// directory that tracks which cluster L2 holds each line.
+//
+// Timing model: a hit completes after the cache's access latency; a
+// miss allocates an MSHR (merging same-line requests), fetches the line
+// from the next level, and releases all merged waiters when the fill
+// arrives. Dirty victims generate write-backs down the hierarchy.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// FillFunc fetches a cache line from the next level. done must be
+// invoked exactly once with the fill completion time.
+type FillFunc func(blockAddr uint64, write bool, thread int, done func(at sim.Time))
+
+// WritebackFunc accepts an evicted dirty line (posted; no completion).
+type WritebackFunc func(blockAddr uint64, thread int)
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	MergedMiss uint64 // requests merged into an in-flight MSHR
+	Writebacks uint64
+	MSHRStall  uint64 // rejected because all MSHRs were busy
+	Evictions  uint64
+}
+
+// HitRate returns hits/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag     uint64
+	state   State
+	lastUse uint64
+}
+
+type mshr struct {
+	block   uint64
+	write   bool
+	waiters []func(at sim.Time)
+}
+
+// Cache is one set-associative cache level. Construct with New.
+type Cache struct {
+	eng     *sim.Engine
+	geom    config.CacheGeom
+	latency sim.Time
+	next    FillFunc
+	wb      WritebackFunc
+
+	sets      [][]line
+	setShift  uint
+	setMask   uint64
+	lineShift uint
+
+	mshrs map[uint64]*mshr
+
+	// OnEvict, when set, is called for every line leaving this cache
+	// (capacity eviction or external invalidation) — used for inclusive
+	// back-invalidation of upper levels.
+	OnEvict func(blockAddr uint64)
+	// OnMSHRFree, when set, is called whenever an MSHR retires so
+	// stalled requesters can retry.
+	OnMSHRFree func()
+
+	useTick uint64
+	stats   Stats
+}
+
+// New builds a cache level. clockPeriod converts the geometry's cycle
+// latency to time; next supplies misses; wb absorbs dirty evictions.
+func New(eng *sim.Engine, geom config.CacheGeom, clockPeriod sim.Time, next FillFunc, wb WritebackFunc) *Cache {
+	nLines := geom.SizeBytes / geom.LineBytes
+	nSets := nLines / geom.Assoc
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a positive power of two", nSets))
+	}
+	c := &Cache{
+		eng:       eng,
+		geom:      geom,
+		latency:   sim.Time(geom.LatencyCy) * clockPeriod,
+		next:      next,
+		wb:        wb,
+		sets:      make([][]line, nSets),
+		lineShift: uint(bits.TrailingZeros(uint(geom.LineBytes))),
+		setMask:   uint64(nSets - 1),
+		mshrs:     make(map[uint64]*mshr, geom.MSHRs),
+	}
+	c.setShift = c.lineShift
+	for i := range c.sets {
+		c.sets[i] = make([]line, geom.Assoc)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Block returns addr truncated to its cache-line base.
+func (c *Cache) Block(addr uint64) uint64 { return addr &^ (uint64(c.geom.LineBytes) - 1) }
+
+func (c *Cache) index(block uint64) (set int, tag uint64) {
+	idx := (block >> c.setShift) & c.setMask
+	return int(idx), block >> c.setShift
+}
+
+func (c *Cache) lookup(block uint64) *line {
+	set, tag := c.index(block)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// Probe reports the line's current state without touching LRU order.
+func (c *Cache) Probe(addr uint64) State {
+	if l := c.lookup(c.Block(addr)); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Access attempts a load (write=false) or store (write=true). On a hit
+// done is scheduled after the access latency; on a miss the line is
+// fetched. It returns false — without consuming the request — when all
+// MSHRs are busy; the caller must retry (OnMSHRFree signals when).
+func (c *Cache) Access(addr uint64, write bool, thread int, done func(at sim.Time)) bool {
+	block := c.Block(addr)
+	now := c.eng.Now()
+	if l := c.lookup(block); l != nil {
+		c.stats.Accesses++
+		c.stats.Hits++
+		c.useTick++
+		l.lastUse = c.useTick
+		if write {
+			l.state = Modified
+		} else if l.state == Invalid {
+			panic("cache: lookup returned invalid line")
+		}
+		if done != nil {
+			at := now + c.latency
+			c.eng.Schedule(at, func(*sim.Engine) { done(at) })
+		}
+		return true
+	}
+	// Miss: merge into an in-flight MSHR when possible.
+	if m, ok := c.mshrs[block]; ok {
+		c.stats.Accesses++
+		c.stats.Misses++
+		c.stats.MergedMiss++
+		m.write = m.write || write
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		return true
+	}
+	if len(c.mshrs) >= c.geom.MSHRs {
+		c.stats.MSHRStall++
+		return false
+	}
+	c.stats.Accesses++
+	c.stats.Misses++
+	m := &mshr{block: block, write: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	c.mshrs[block] = m
+	c.next(block, write, thread, func(at sim.Time) {
+		c.fill(m, thread, at)
+	})
+	return true
+}
+
+// fill installs the fetched line and releases waiters.
+func (c *Cache) fill(m *mshr, thread int, at sim.Time) {
+	delete(c.mshrs, m.block)
+	c.install(m.block, m.write, thread)
+	end := at + c.latency
+	for _, w := range m.waiters {
+		w := w
+		c.eng.Schedule(end, func(*sim.Engine) { w(end) })
+	}
+	if c.OnMSHRFree != nil {
+		c.OnMSHRFree()
+	}
+}
+
+// install places the block, evicting the LRU victim if needed.
+func (c *Cache) install(block uint64, write bool, thread int) {
+	set, tag := c.index(block)
+	victim := -1
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state == Invalid {
+			victim = i
+			break
+		}
+		if victim < 0 || l.lastUse < c.sets[set][victim].lastUse {
+			victim = i
+		}
+	}
+	v := &c.sets[set][victim]
+	if v.state != Invalid {
+		c.evictLine(set, v)
+	}
+	c.useTick++
+	st := Exclusive
+	if write {
+		st = Modified
+	}
+	c.sets[set][victim] = line{tag: tag, state: st, lastUse: c.useTick}
+	_ = thread
+}
+
+func (c *Cache) evictLine(set int, v *line) {
+	blockAddr := (v.tag << c.setShift)
+	c.stats.Evictions++
+	if v.state == Modified && c.wb != nil {
+		c.stats.Writebacks++
+		c.wb(blockAddr, 0)
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(blockAddr)
+	}
+	v.state = Invalid
+}
+
+// Invalidate removes the block if present (external coherence action),
+// returning its previous state. Dirty data is written back.
+func (c *Cache) Invalidate(addr uint64) State {
+	block := c.Block(addr)
+	set, _ := c.index(block)
+	l := c.lookup(block)
+	if l == nil {
+		return Invalid
+	}
+	prev := l.state
+	c.evictLine(set, l)
+	return prev
+}
+
+// Downgrade moves an M/E line to S (coherence read by another node),
+// writing back dirty data. It returns the previous state.
+func (c *Cache) Downgrade(addr uint64) State {
+	l := c.lookup(c.Block(addr))
+	if l == nil {
+		return Invalid
+	}
+	prev := l.state
+	if prev == Modified && c.wb != nil {
+		c.stats.Writebacks++
+		c.wb(c.Block(addr), 0)
+	}
+	if prev == Modified || prev == Exclusive {
+		l.state = Shared
+	}
+	return prev
+}
+
+// InflightMisses returns the number of busy MSHRs.
+func (c *Cache) InflightMisses() int { return len(c.mshrs) }

@@ -1,0 +1,160 @@
+package cache
+
+// Directory is the reverse directory associated with each memory
+// controller (§VI-A): it tracks, per cache line, which cluster L2s hold
+// the line and in what aggregate state, and computes the coherence
+// actions an L2 miss triggers.
+//
+// It is a full-map directory over up to 64 nodes (the paper's 16
+// clusters fit comfortably). The directory returns *what must happen*
+// (memory fetch needed? how many extra coherence hops?); the system
+// layer converts hops into NoC latency and performs the invalidations
+// on the victim caches.
+
+// DirStats counts directory activity.
+type DirStats struct {
+	Lookups       uint64
+	Invalidations uint64 // sharer copies invalidated by writes
+	Forwards      uint64 // dirty cache-to-cache transfers
+	MemFetches    uint64
+}
+
+type dirEntry struct {
+	sharers uint64 // bitmap of nodes with the line
+	owner   int8   // node holding M/E, or -1
+}
+
+// Directory tracks L2-level sharers of memory lines.
+type Directory struct {
+	nodes   int
+	entries map[uint64]dirEntry
+	stats   DirStats
+}
+
+// NewDirectory creates a directory for n nodes (1..64).
+func NewDirectory(n int) *Directory {
+	if n <= 0 || n > 64 {
+		panic("cache: directory supports 1..64 nodes")
+	}
+	return &Directory{nodes: n, entries: map[uint64]dirEntry{}}
+}
+
+// Stats returns a snapshot.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// Outcome describes the coherence work for one L2 fill.
+type Outcome struct {
+	// NeedMem is true when the line must be fetched from main memory
+	// (no dirty owner forwards it).
+	NeedMem bool
+	// ExtraHops is the number of additional directory↔node message
+	// legs beyond the basic request/response pair.
+	ExtraHops int
+	// Invalidate lists the nodes whose copies must be invalidated
+	// (write requests) or downgraded (read requests finding an owner).
+	Invalidate []int
+	Downgrade  []int
+}
+
+// Fill records that node is fetching the line (write = store miss or
+// upgrade) and returns the required coherence actions.
+func (d *Directory) Fill(block uint64, node int, write bool) Outcome {
+	d.checkNode(node)
+	d.stats.Lookups++
+	e, present := d.entries[block]
+	var out Outcome
+	bit := uint64(1) << uint(node)
+
+	if !present || e.sharers == 0 {
+		// Cold: grant E to the requester; fetch from memory.
+		d.entries[block] = dirEntry{sharers: bit, owner: int8(node)}
+		out.NeedMem = true
+		d.stats.MemFetches++
+		return out
+	}
+
+	if write {
+		// Invalidate every other copy.
+		for n := 0; n < d.nodes; n++ {
+			if n == node {
+				continue
+			}
+			if e.sharers&(1<<uint(n)) != 0 {
+				out.Invalidate = append(out.Invalidate, n)
+				d.stats.Invalidations++
+			}
+		}
+		if e.owner >= 0 && int(e.owner) != node {
+			// Dirty owner forwards the line instead of memory.
+			out.NeedMem = false
+			out.ExtraHops = 2
+			d.stats.Forwards++
+		} else {
+			out.NeedMem = e.sharers&bit == 0 // upgrade of own copy needs no fetch
+			if out.NeedMem {
+				d.stats.MemFetches++
+			}
+			if len(out.Invalidate) > 0 {
+				out.ExtraHops = 1
+			}
+		}
+		d.entries[block] = dirEntry{sharers: bit, owner: int8(node)}
+		return out
+	}
+
+	// Read miss.
+	if e.owner >= 0 && int(e.owner) != node {
+		// Owner may be dirty: downgrade and forward.
+		out.Downgrade = append(out.Downgrade, int(e.owner))
+		out.NeedMem = false
+		out.ExtraHops = 2
+		d.stats.Forwards++
+		e.owner = -1
+	} else {
+		out.NeedMem = true
+		d.stats.MemFetches++
+	}
+	e.sharers |= bit
+	if e.sharers == bit {
+		e.owner = int8(node)
+	}
+	d.entries[block] = e
+	return out
+}
+
+// Evict records that node dropped its copy (L2 eviction).
+func (d *Directory) Evict(block uint64, node int) {
+	d.checkNode(node)
+	e, ok := d.entries[block]
+	if !ok {
+		return
+	}
+	e.sharers &^= uint64(1) << uint(node)
+	if int(e.owner) == node {
+		e.owner = -1
+	}
+	if e.sharers == 0 {
+		delete(d.entries, block)
+		return
+	}
+	d.entries[block] = e
+}
+
+// Sharers returns the number of nodes currently holding the line.
+func (d *Directory) Sharers(block uint64) int {
+	e, ok := d.entries[block]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for s := e.sharers; s != 0; s &= s - 1 {
+		n++
+	}
+	return n
+}
+
+func (d *Directory) checkNode(node int) {
+	if node < 0 || node >= d.nodes {
+		panic("cache: directory node out of range")
+	}
+}

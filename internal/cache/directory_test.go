@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectoryColdFill(t *testing.T) {
+	d := NewDirectory(16)
+	out := d.Fill(0x1000, 3, false)
+	if !out.NeedMem || out.ExtraHops != 0 || len(out.Invalidate) != 0 {
+		t.Fatalf("cold fill outcome = %+v", out)
+	}
+	if d.Sharers(0x1000) != 1 {
+		t.Fatalf("sharers = %d", d.Sharers(0x1000))
+	}
+}
+
+func TestDirectoryReadSharing(t *testing.T) {
+	d := NewDirectory(16)
+	d.Fill(0x1000, 0, false)
+	out := d.Fill(0x1000, 1, false)
+	// Node 0 holds E: it must be downgraded and forwards the line.
+	if out.NeedMem {
+		t.Fatal("owner present; memory fetch should be avoided")
+	}
+	if len(out.Downgrade) != 1 || out.Downgrade[0] != 0 {
+		t.Fatalf("downgrade = %v", out.Downgrade)
+	}
+	if out.ExtraHops != 2 {
+		t.Fatalf("hops = %d", out.ExtraHops)
+	}
+	// Third reader: plain shared fetch from memory.
+	out = d.Fill(0x1000, 2, false)
+	if !out.NeedMem || len(out.Downgrade) != 0 {
+		t.Fatalf("shared read outcome = %+v", out)
+	}
+	if d.Sharers(0x1000) != 3 {
+		t.Fatalf("sharers = %d", d.Sharers(0x1000))
+	}
+}
+
+func TestDirectoryWriteInvalidatesSharers(t *testing.T) {
+	d := NewDirectory(16)
+	d.Fill(0x40, 0, false)
+	d.Fill(0x40, 1, false)
+	d.Fill(0x40, 2, false)
+	out := d.Fill(0x40, 3, true)
+	if len(out.Invalidate) != 3 {
+		t.Fatalf("invalidations = %v", out.Invalidate)
+	}
+	if d.Sharers(0x40) != 1 {
+		t.Fatalf("sharers after write = %d", d.Sharers(0x40))
+	}
+	if out.ExtraHops == 0 {
+		t.Fatal("invalidation should cost hops")
+	}
+	st := d.Stats()
+	if st.Invalidations != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirectoryWriteToOwnedLineForwards(t *testing.T) {
+	d := NewDirectory(8)
+	d.Fill(0x40, 0, true) // node 0 owns M
+	out := d.Fill(0x40, 1, true)
+	if out.NeedMem {
+		t.Fatal("dirty owner should forward, not fetch memory")
+	}
+	if len(out.Invalidate) != 1 || out.Invalidate[0] != 0 {
+		t.Fatalf("invalidate = %v", out.Invalidate)
+	}
+	if d.Stats().Forwards != 1 {
+		t.Fatal("forward not counted")
+	}
+}
+
+func TestDirectoryUpgradeOwnCopy(t *testing.T) {
+	d := NewDirectory(8)
+	d.Fill(0x40, 0, false)
+	d.Fill(0x40, 1, false)
+	// Node 0 upgrades its S copy: no memory fetch, one invalidation.
+	out := d.Fill(0x40, 0, true)
+	if out.NeedMem {
+		t.Fatal("upgrade should not refetch")
+	}
+	if len(out.Invalidate) != 1 || out.Invalidate[0] != 1 {
+		t.Fatalf("invalidate = %v", out.Invalidate)
+	}
+}
+
+func TestDirectoryEvict(t *testing.T) {
+	d := NewDirectory(8)
+	d.Fill(0x40, 0, false)
+	d.Fill(0x40, 1, false)
+	d.Evict(0x40, 0)
+	if d.Sharers(0x40) != 1 {
+		t.Fatalf("sharers = %d", d.Sharers(0x40))
+	}
+	d.Evict(0x40, 1)
+	if d.Sharers(0x40) != 0 {
+		t.Fatal("entry not reclaimed")
+	}
+	d.Evict(0x40, 1) // absent: no-op
+	// After full eviction a new fill is cold again.
+	out := d.Fill(0x40, 2, false)
+	if !out.NeedMem || out.ExtraHops != 0 {
+		t.Fatalf("post-evict fill = %+v", out)
+	}
+}
+
+func TestDirectoryBounds(t *testing.T) {
+	for _, n := range []int{0, 65, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDirectory(%d) did not panic", n)
+				}
+			}()
+			NewDirectory(n)
+		}()
+	}
+	d := NewDirectory(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node did not panic")
+		}
+	}()
+	d.Fill(0, 4, false)
+}
+
+// Property: the sharer count equals the number of distinct nodes that
+// filled since the last write or full eviction, and a write always
+// collapses it to one.
+func TestDirectoryInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDirectory(8)
+		block := uint64(0x80)
+		present := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			node := rng.Intn(8)
+			switch rng.Intn(3) {
+			case 0: // read fill
+				d.Fill(block, node, false)
+				present[node] = true
+			case 1: // write fill
+				d.Fill(block, node, true)
+				present = map[int]bool{node: true}
+			default: // evict
+				d.Evict(block, node)
+				delete(present, node)
+			}
+			if d.Sharers(block) != len(present) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"testing"
+
+	"microbank/internal/sim"
+	"microbank/internal/workload"
+)
+
+const ns = sim.Nanosecond
+
+func params(budget uint64) Params {
+	return Params{ID: 0, FreqMHz: 2000, IssueWidth: 2, CommitWidth: 2, ROB: 32, Budget: budget, Seed: 1}
+}
+
+// fixedMem services loads with constant latency.
+type fixedMem struct {
+	eng      *sim.Engine
+	latency  sim.Time
+	accesses int
+	inflight int
+	maxInfl  int
+	rejects  int // number of initial rejects to simulate
+}
+
+func (m *fixedMem) access(addr uint64, write bool, done func(at sim.Time)) bool {
+	if m.rejects > 0 {
+		m.rejects--
+		return false
+	}
+	m.accesses++
+	if done != nil {
+		m.inflight++
+		if m.inflight > m.maxInfl {
+			m.maxInfl = m.inflight
+		}
+		at := m.eng.Now() + m.latency
+		m.eng.Schedule(at, func(*sim.Engine) {
+			m.inflight--
+			done(at)
+		})
+	}
+	return true
+}
+
+func runCore(t *testing.T, p Params, gen workload.Generator, mem *fixedMem) Stats {
+	t.Helper()
+	eng := sim.NewEngine()
+	mem.eng = eng
+	var out Stats
+	finished := false
+	c := New(eng, p, gen, mem.access, func(s Stats) { out = s; finished = true })
+	c.Start()
+	eng.Run()
+	if !finished {
+		t.Fatalf("core did not finish: issued=%d budget=%d inflight=%d", c.issued, p.Budget, mem.inflight)
+	}
+	if !c.Finished() {
+		t.Fatal("Finished() false after onFinish")
+	}
+	return out
+}
+
+func TestComputeBoundIPCNearIssueWidth(t *testing.T) {
+	// 1 access per 100 instructions, zero-latency hits.
+	gen := &workload.Fixed{Gap: 99, Accs: []workload.Access{{Addr: 0}}}
+	mem := &fixedMem{latency: 1 * ns}
+	st := runCore(t, params(10000), gen, mem)
+	ipc := st.IPC(500)
+	if ipc < 1.8 || ipc > 2.0 {
+		t.Fatalf("compute-bound IPC = %v, want ~2", ipc)
+	}
+	if st.Instructions != 10000 {
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	gen := &workload.Fixed{Gap: 0, Accs: []workload.Access{{Addr: 0}}}
+	p := params(100)
+	p.DepFrac = 1.0
+	mem := &fixedMem{latency: 100 * ns}
+	st := runCore(t, p, gen, mem)
+	// Every load waits for the previous: ≈ budget × latency.
+	minTime := sim.Time(90) * 100 * ns
+	if st.FinishAt < minTime {
+		t.Fatalf("dependent chain finished at %d, want >= %d", st.FinishAt, minTime)
+	}
+	if mem.maxInfl > 2 {
+		t.Fatalf("dependent chain reached MLP %d, want ~1", mem.maxInfl)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	gen := &workload.Fixed{Gap: 0, Accs: []workload.Access{{Addr: 0}}}
+	p := params(200)
+	p.DepFrac = 0
+	mem := &fixedMem{latency: 100 * ns}
+	st := runCore(t, p, gen, mem)
+	if mem.maxInfl < 8 {
+		t.Fatalf("independent loads reached MLP %d, want >= 8 (ROB-limited)", mem.maxInfl)
+	}
+	if mem.maxInfl > 32 {
+		t.Fatalf("MLP %d exceeds ROB", mem.maxInfl)
+	}
+	// Overlap must beat the serial bound by a wide margin.
+	serial := sim.Time(200) * 100 * ns
+	if st.FinishAt > serial/4 {
+		t.Fatalf("overlapped run took %d, serial bound %d", st.FinishAt, serial)
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	gen := &workload.Fixed{Gap: 0, Accs: []workload.Access{{Addr: 0}}}
+	mlpFor := func(rob int) int {
+		p := params(300)
+		p.ROB = rob
+		mem := &fixedMem{latency: 200 * ns}
+		runCore(t, p, gen, mem)
+		return mem.maxInfl
+	}
+	small, large := mlpFor(8), mlpFor(32)
+	if large <= small {
+		t.Fatalf("MLP did not grow with ROB: %d vs %d", small, large)
+	}
+	if small > 8 {
+		t.Fatalf("ROB=8 allowed MLP %d", small)
+	}
+}
+
+func TestStoresArePosted(t *testing.T) {
+	gen := &workload.Fixed{Gap: 0, Accs: []workload.Access{{Addr: 0, Write: true}}}
+	mem := &fixedMem{latency: 100 * ns}
+	st := runCore(t, params(100), gen, mem)
+	// Stores never wait for memory: IPC stays near issue width.
+	if ipc := st.IPC(500); ipc < 1.5 {
+		t.Fatalf("store-only IPC = %v, want near 2", ipc)
+	}
+	if st.Stores != 100 {
+		t.Fatalf("stores = %d", st.Stores)
+	}
+}
+
+func TestMixedCounts(t *testing.T) {
+	gen := &workload.Fixed{Gap: 3, Accs: []workload.Access{{Addr: 0}, {Addr: 64, Write: true}}}
+	mem := &fixedMem{latency: 10 * ns}
+	st := runCore(t, params(400), gen, mem)
+	if st.Instructions != 400 {
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+	if st.Loads == 0 || st.Stores == 0 {
+		t.Fatalf("loads/stores = %d/%d", st.Loads, st.Stores)
+	}
+	if st.Loads+st.Stores > 110 {
+		t.Fatalf("too many accesses: %d", st.Loads+st.Stores)
+	}
+}
+
+func TestRetryAfterReject(t *testing.T) {
+	gen := &workload.Fixed{Gap: 0, Accs: []workload.Access{{Addr: 0}}}
+	eng := sim.NewEngine()
+	mem := &fixedMem{eng: eng, latency: 10 * ns, rejects: 1}
+	var done bool
+	c := New(eng, params(10), gen, mem.access, func(Stats) { done = true })
+	c.Start()
+	eng.Run()
+	if done {
+		t.Fatal("core finished despite a stuck rejection without Kick")
+	}
+	if c.Stats().StallRetry != 1 {
+		t.Fatalf("StallRetry = %d", c.Stats().StallRetry)
+	}
+	// Kick resumes it.
+	c.Kick()
+	eng.Run()
+	if !done {
+		t.Fatal("core did not finish after Kick")
+	}
+}
+
+func TestSyntheticWorkloadDrives(t *testing.T) {
+	p := params(20000)
+	p.DepFrac = 0.3
+	gen := workload.NewSynthetic(workload.MustGet("429.mcf"), 0, 5)
+	mem := &fixedMem{latency: 50 * ns}
+	st := runCore(t, p, gen, mem)
+	if st.Instructions != 20000 {
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+	ipc := st.IPC(500)
+	if ipc <= 0 || ipc > 2 {
+		t.Fatalf("IPC = %v out of (0,2]", ipc)
+	}
+	if st.Loads == 0 {
+		t.Fatal("no loads generated")
+	}
+}
+
+func TestLatencySensitivity(t *testing.T) {
+	// Higher memory latency must reduce IPC (the whole premise of the
+	// paper's IPC experiments).
+	gen := func() workload.Generator {
+		return workload.NewSynthetic(workload.MustGet("429.mcf"), 0, 5)
+	}
+	p := params(10000)
+	p.DepFrac = 0.5
+	fast := runCore(t, p, gen(), &fixedMem{latency: 20 * ns})
+	slow := runCore(t, p, gen(), &fixedMem{latency: 200 * ns})
+	if fast.IPC(500) <= slow.IPC(500) {
+		t.Fatalf("IPC fast %v <= slow %v", fast.IPC(500), slow.IPC(500))
+	}
+}
+
+func TestBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(sim.NewEngine(), Params{}, nil, nil, nil)
+}
+
+func TestIPCZeroFinish(t *testing.T) {
+	var s Stats
+	if s.IPC(500) != 0 {
+		t.Fatal("IPC of unfinished core should be 0")
+	}
+}

@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"testing"
+
+	"microbank/internal/sim"
+	"microbank/internal/workload"
+)
+
+func TestWarmupCrossingRecorded(t *testing.T) {
+	gen := &workload.Fixed{Gap: 9, Accs: []workload.Access{{Addr: 0}}}
+	p := params(1000)
+	p.Warmup = 400
+	mem := &fixedMem{latency: 20 * ns}
+	warmFired := 0
+	eng := sim.NewEngine()
+	mem.eng = eng
+	var out Stats
+	c := New(eng, p, gen, mem.access, func(s Stats) { out = s })
+	c.OnWarm = func() { warmFired++ }
+	c.Start()
+	eng.Run()
+	if warmFired != 1 {
+		t.Fatalf("OnWarm fired %d times", warmFired)
+	}
+	if out.WarmInstr < 400 || out.WarmInstr > 420 {
+		t.Fatalf("WarmInstr = %d, want ~400", out.WarmInstr)
+	}
+	if out.WarmAt == 0 || out.WarmAt >= out.FinishAt {
+		t.Fatalf("WarmAt = %d, FinishAt = %d", out.WarmAt, out.FinishAt)
+	}
+	// IPC uses the measured region only.
+	full := float64(out.Instructions) / (float64(out.FinishAt) / 500)
+	measured := out.IPC(500)
+	if measured <= 0 || measured > 2 {
+		t.Fatalf("measured IPC = %v", measured)
+	}
+	// For a steady workload the two are close but not identical.
+	if measured == full && out.WarmAt > 0 {
+		t.Log("measured equals full-run IPC (steady workload) — acceptable")
+	}
+}
+
+func TestWarmupGEQBudgetPanics(t *testing.T) {
+	p := params(100)
+	p.Warmup = 100
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(sim.NewEngine(), p, nil, nil, nil)
+}
+
+func TestNoWarmupNoCallback(t *testing.T) {
+	gen := &workload.Fixed{Gap: 4, Accs: []workload.Access{{Addr: 0}}}
+	mem := &fixedMem{latency: 10 * ns}
+	eng := sim.NewEngine()
+	mem.eng = eng
+	fired := false
+	c := New(eng, params(200), gen, mem.access, func(Stats) {})
+	c.OnWarm = func() { fired = true }
+	c.Start()
+	eng.Run()
+	if fired {
+		t.Fatal("OnWarm fired without Warmup configured")
+	}
+	if c.Stats().WarmAt != 0 || c.Stats().WarmInstr != 0 {
+		t.Fatal("warm stats set without warmup")
+	}
+}

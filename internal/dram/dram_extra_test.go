@@ -1,0 +1,109 @@
+package dram
+
+import (
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+)
+
+func TestNoActWindowScaling(t *testing.T) {
+	m := mem(8, 1)
+	m.Timing.NoActWindowScaling = true
+	c := NewChannel(m)
+	// Without scaling, μbank activates obey the full 6→4ns... the TSI
+	// preset's tRRD applies unscaled.
+	c.IssueACT(0, 1, 0)
+	want := m.Timing.TRRD
+	if got := c.EarliestACT(1, 0); got != want {
+		t.Fatalf("unscaled ACT spacing = %d, want tRRD=%d", got, want)
+	}
+	// And the four-activate window stays at 4 entries.
+	var at sim.Time
+	c2 := NewChannel(m)
+	for i := 0; i < 4; i++ {
+		at = c2.EarliestACT(i, at)
+		c2.IssueACT(i, 1, at)
+	}
+	if fifth := c2.EarliestACT(4, at); fifth < m.Timing.TFAW {
+		t.Fatalf("5th ACT at %d despite unscaled window (tFAW=%d)", fifth, m.Timing.TFAW)
+	}
+}
+
+func TestRankToRankSwitchPenalty(t *testing.T) {
+	m := config.MemPreset(config.DDR3PCB, 1, 1) // 2 ranks
+	m.Org.Channels = 1
+	m.Timing.TREFI = 0
+	m.Timing.TRFC = 0
+	c := NewChannel(m)
+	tm := m.Timing
+	// Bank 0 is rank 0; bank 8 is rank 1 (8 banks per rank).
+	c.IssueACT(0, 1, 0)
+	c.IssueACT(8, 1, c.EarliestACT(8, 0))
+	rd0 := c.EarliestCol(0, false, 0)
+	c.IssueRD(0, rd0)
+	// Same-rank follow-up: limited by tCCD (plus bus).
+	same := c.EarliestCol(0, false, rd0)
+	// Cross-rank follow-up: must additionally pay tRTRS.
+	cross := c.EarliestCol(8, false, rd0)
+	if cross < same+tm.TRTRS {
+		t.Fatalf("cross-rank RD at %d, same-rank at %d; want ≥ +tRTRS (%d)",
+			cross, same, tm.TRTRS)
+	}
+	// Single-rank devices never pay the penalty.
+	m1 := mem(1, 1)
+	c1 := NewChannel(m1)
+	c1.IssueACT(0, 1, 0)
+	c1.IssueACT(1, 1, c1.EarliestACT(1, 0))
+	r0 := c1.EarliestCol(0, false, 0)
+	c1.IssueRD(0, r0)
+	if got := c1.EarliestCol(1, false, r0); got != r0+m1.Timing.TCCD {
+		t.Fatalf("single-rank spacing = %d, want tCCD only (%d)", got-r0, m1.Timing.TCCD)
+	}
+}
+
+func TestTSIPresetsRelaxActWindows(t *testing.T) {
+	pcb := config.MemPreset(config.DDR3PCB, 1, 1).Timing
+	tsi := config.MemPreset(config.LPDDRTSI, 1, 1).Timing
+	if tsi.TRRD >= pcb.TRRD || tsi.TFAW >= pcb.TFAW {
+		t.Fatalf("TSI activation windows not relaxed: tRRD %d vs %d, tFAW %d vs %d",
+			tsi.TRRD, pcb.TRRD, tsi.TFAW, pcb.TFAW)
+	}
+}
+
+func TestPerBankRefresh(t *testing.T) {
+	m := config.MemPreset(config.LPDDRTSI, 2, 2)
+	m.Timing.PerBankRefresh = true
+	c := NewChannel(m)
+	tm := m.Timing
+	// First per-bank refresh fires at tREFI and blocks only bank 0's
+	// μbanks, for tRFC/banks.
+	if c.MaybeRefresh(tm.TREFI - 1) {
+		t.Fatal("early refresh")
+	}
+	if !c.MaybeRefresh(tm.TREFI) {
+		t.Fatal("refresh did not fire")
+	}
+	per := tm.TRFC / 8
+	if got := c.EarliestACT(0, tm.TREFI); got != tm.TREFI+per {
+		t.Fatalf("bank 0 ACT = %d, want +tRFC/8 = %d", got, tm.TREFI+per)
+	}
+	// μbanks of other conventional banks are unaffected.
+	micro := m.Org.NW * m.Org.NB
+	if got := c.EarliestACT(micro, tm.TREFI); got != tm.TREFI+c.tRRDEff*0 {
+		if got > tm.TREFI {
+			t.Fatalf("bank 1 blocked by bank-0 refresh: %d", got)
+		}
+	}
+	// The next refresh is due tREFI/banks later (rotating bank 1).
+	want := tm.TREFI + tm.TREFI/8
+	if c.NextRefreshAt() != want {
+		t.Fatalf("next refresh = %d, want %d", c.NextRefreshAt(), want)
+	}
+	if !c.MaybeRefresh(want) {
+		t.Fatal("second per-bank refresh did not fire")
+	}
+	if got := c.EarliestACT(micro, want); got != want+per {
+		t.Fatalf("bank 1 ACT after its refresh = %d, want %d", got, want+per)
+	}
+}

@@ -1,0 +1,372 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+)
+
+func mem(nW, nB int) config.Mem {
+	m := config.MemPreset(config.LPDDRTSI, nW, nB)
+	m.Timing.TREFI = 0 // most tests disable refresh for determinism
+	m.Timing.TRFC = 0
+	return m
+}
+
+const ns = sim.Nanosecond
+
+func TestCmdString(t *testing.T) {
+	for c, want := range map[Cmd]string{CmdACT: "ACT", CmdRD: "RD", CmdWR: "WR", CmdPRE: "PRE", CmdREF: "REF", Cmd(9): "Cmd(9)"} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestChannelShape(t *testing.T) {
+	c := NewChannel(mem(2, 4))
+	want := 1 * 8 * 2 * 4 // ranks * banks * nW * nB
+	if c.NumBanks() != want {
+		t.Fatalf("NumBanks = %d, want %d", c.NumBanks(), want)
+	}
+}
+
+func TestNewChannelRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	m := mem(1, 1)
+	m.Org.NW = 3
+	NewChannel(m)
+}
+
+func TestActivateReadPrechargeTiming(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+
+	if got := c.EarliestACT(0, 0); got != 0 {
+		t.Fatalf("fresh bank EarliestACT = %d, want 0", got)
+	}
+	c.IssueACT(0, 42, 0)
+	open, row := c.Open(0)
+	if !open || row != 42 {
+		t.Fatalf("bank not open at row 42: %v %d", open, row)
+	}
+	// Column command must wait tRCD.
+	if got := c.EarliestCol(0, false, 0); got != tm.TRCD {
+		t.Fatalf("EarliestCol = %d, want tRCD=%d", got, tm.TRCD)
+	}
+	done := c.IssueRD(0, tm.TRCD)
+	if want := tm.TRCD + tm.TAA + tm.TBL; done != want {
+		t.Fatalf("read data done = %d, want %d", done, want)
+	}
+	// PRE must wait tRAS from ACT.
+	if got := c.EarliestPRE(0, 0); got != tm.TRAS {
+		t.Fatalf("EarliestPRE = %d, want tRAS=%d", got, tm.TRAS)
+	}
+	c.IssuePRE(0, tm.TRAS)
+	if open, _ := c.Open(0); open {
+		t.Fatal("bank still open after PRE")
+	}
+	// Next ACT waits tRP.
+	if got := c.EarliestACT(0, tm.TRAS); got != tm.TRAS+tm.TRP {
+		t.Fatalf("re-ACT = %d, want tRAS+tRP=%d", got, tm.TRAS+tm.TRP)
+	}
+}
+
+func TestLateReadExtendsPrecharge(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	c.IssueACT(0, 1, 0)
+	// Read issued just before tRAS expiry extends preReady via tRTP.
+	rdAt := tm.TRAS - 2*ns
+	c.IssueRD(0, rdAt)
+	if got := c.EarliestPRE(0, rdAt); got != rdAt+tm.TRTP {
+		t.Fatalf("EarliestPRE = %d, want rd+tRTP=%d", got, rdAt+tm.TRTP)
+	}
+}
+
+func TestWriteRecovery(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	c.IssueACT(0, 1, 0)
+	wrAt := c.EarliestCol(0, true, 0)
+	c.IssueWR(0, wrAt)
+	wantPre := wrAt + tm.TAA + tm.TBL + tm.TWR
+	if got := c.EarliestPRE(0, wrAt); got != wantPre {
+		t.Fatalf("EarliestPRE after WR = %d, want %d", got, wantPre)
+	}
+}
+
+func TestDataBusSerializesReads(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	c.IssueACT(0, 1, 0)
+	c.IssueACT(1, 1, c.EarliestACT(1, 0))
+	t1 := c.EarliestCol(0, false, 0)
+	d1 := c.IssueRD(0, t1)
+	t2 := c.EarliestCol(1, false, t1)
+	if t2 < t1+tm.TCCD {
+		t.Fatalf("second RD at %d violates tCCD after %d", t2, t1)
+	}
+	d2 := c.IssueRD(1, t2)
+	if d2 < d1+tm.TBL {
+		t.Fatalf("data bursts overlap: %d then %d (tBL=%d)", d1, d2, tm.TBL)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	c.IssueACT(0, 1, 0)
+	wrAt := c.EarliestCol(0, true, 0)
+	c.IssueWR(0, wrAt)
+	rdAt := c.EarliestCol(0, false, wrAt)
+	if rdAt < wrAt+tm.TCCD+tm.TWTR {
+		t.Fatalf("WR→RD at %d, want >= %d", rdAt, wrAt+tm.TCCD+tm.TWTR)
+	}
+}
+
+func TestColToClosedBankPanics(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.EarliestCol(0, false, 0)
+}
+
+func TestActToOpenBankPanics(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	c.IssueACT(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.EarliestACT(0, 0)
+}
+
+func TestEarlyIssuePanics(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	c.IssueACT(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.IssueRD(0, 0) // before tRCD
+}
+
+func TestTRRDBetweenBanks(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	c.IssueACT(0, 1, 0)
+	if got := c.EarliestACT(1, 0); got != tm.TRRD {
+		t.Fatalf("second ACT = %d, want tRRD=%d", got, tm.TRRD)
+	}
+}
+
+func TestTRRDScalesWithNW(t *testing.T) {
+	c := NewChannel(mem(8, 1))
+	c.IssueACT(0, 1, 0)
+	// tRRD 6ns / 8 floors at 1ns.
+	if got := c.EarliestACT(1, 0); got != 1*ns {
+		t.Fatalf("μbank ACT spacing = %d, want 1ns floor", got)
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	tm := c.Config().Timing
+	var at sim.Time
+	for i := 0; i < 4; i++ {
+		at = c.EarliestACT(i, at)
+		c.IssueACT(i, 1, at)
+	}
+	fifth := c.EarliestACT(4, at)
+	if fifth < tm.TFAW {
+		t.Fatalf("5th ACT at %d, want >= tFAW=%d", fifth, tm.TFAW)
+	}
+}
+
+func TestFAWWidensWithNW(t *testing.T) {
+	// With nW=4 each activation opens a quarter row, so 16 activates
+	// fit in one window.
+	c := NewChannel(mem(4, 4))
+	tm := c.Config().Timing
+	var at sim.Time
+	for i := 0; i < 16; i++ {
+		at = c.EarliestACT(i, at)
+		c.IssueACT(i, 1, at)
+	}
+	if at >= tm.TFAW {
+		t.Fatalf("16 μbank ACTs took %d, should fit within tFAW=%d", at, tm.TFAW)
+	}
+	next := c.EarliestACT(16, at)
+	if next < tm.TFAW {
+		t.Fatalf("17th ACT at %d, want >= tFAW", next)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	c.IssueACT(0, 1, 0)
+	c.IssueRD(0, c.EarliestCol(0, false, 0))
+	e := c.Energy()
+	if e.Acts != 1 || e.Reads != 1 {
+		t.Fatalf("counts = %+v", e)
+	}
+	// Full 8 KB row: 30 nJ = 30000 pJ (+latch).
+	if e.ActPrePJ < 30000 || e.ActPrePJ > 30001 {
+		t.Fatalf("ActPrePJ = %v, want ~30000", e.ActPrePJ)
+	}
+	// 64 B line: 512 b × 4 pJ/b = 2048 pJ each for array and I/O.
+	if e.RdWrPJ != 2048 || e.IOPJ != 2048 {
+		t.Fatalf("RdWr/IO = %v/%v, want 2048/2048", e.RdWrPJ, e.IOPJ)
+	}
+	if tot := e.TotalPJ(); tot <= e.ActPrePJ {
+		t.Fatalf("TotalPJ = %v", tot)
+	}
+}
+
+func TestActEnergyScalesWithNW(t *testing.T) {
+	for _, nW := range []int{1, 2, 4, 8, 16} {
+		c := NewChannel(mem(nW, 1))
+		c.IssueACT(0, 1, 0)
+		e := c.Energy()
+		want := 30000.0/float64(nW) + c.Config().Energy.LatchPJ
+		if diff := e.ActPrePJ - want; diff < -0.01 || diff > 0.01 {
+			t.Errorf("nW=%d: ActPrePJ = %v, want %v", nW, e.ActPrePJ, want)
+		}
+	}
+}
+
+func TestRowOutcomeCounters(t *testing.T) {
+	c := NewChannel(mem(1, 1))
+	c.CountRowOutcome(0, 5) // closed → miss
+	c.IssueACT(0, 5, 0)
+	c.CountRowOutcome(0, 5) // open same → hit
+	c.CountRowOutcome(0, 9) // open other → conflict
+	if c.RowMisses != 1 || c.RowHits != 1 || c.RowConflicts != 1 {
+		t.Fatalf("outcomes = %d/%d/%d", c.RowHits, c.RowMisses, c.RowConflicts)
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	m := config.MemPreset(config.LPDDRTSI, 1, 1)
+	c := NewChannel(m)
+	tm := m.Timing
+	if c.MaybeRefresh(0) {
+		t.Fatal("refresh fired before tREFI")
+	}
+	if c.RefreshDue(tm.TREFI - 1) {
+		t.Fatal("RefreshDue early")
+	}
+	if !c.MaybeRefresh(tm.TREFI) {
+		t.Fatal("refresh did not fire at tREFI")
+	}
+	if got := c.EarliestACT(0, tm.TREFI); got != tm.TREFI+tm.TRFC {
+		t.Fatalf("post-refresh ACT = %d, want +tRFC = %d", got, tm.TREFI+tm.TRFC)
+	}
+	if c.Energy().Refreshes != 1 {
+		t.Fatal("refresh not counted")
+	}
+	if c.NextRefreshAt() != 2*tm.TREFI {
+		t.Fatalf("next refresh = %d", c.NextRefreshAt())
+	}
+}
+
+func TestRefreshWaitsForOpenRow(t *testing.T) {
+	m := config.MemPreset(config.LPDDRTSI, 1, 1)
+	c := NewChannel(m)
+	tm := m.Timing
+	// Open a row just before refresh is due; tRAS hasn't elapsed, so
+	// the refresh must be deferred.
+	c.IssueACT(0, 1, tm.TREFI-1*ns)
+	if c.MaybeRefresh(tm.TREFI) {
+		t.Fatal("refresh fired while a row could not be precharged")
+	}
+	// After tRAS the refresh can proceed and closes the row.
+	at := tm.TREFI - 1*ns + tm.TRAS
+	if !c.MaybeRefresh(at) {
+		t.Fatal("refresh still blocked after tRAS")
+	}
+	if open, _ := c.Open(0); open {
+		t.Fatal("refresh left a row open")
+	}
+}
+
+// Property: for random command sequences the channel never lets two
+// data bursts overlap and row state stays consistent with issued
+// commands.
+func TestRandomCommandSequenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChannel(mem(2, 2))
+		type busSlot struct{ start, end sim.Time }
+		var slots []busSlot
+		now := sim.Time(0)
+		tm := c.Config().Timing
+		for step := 0; step < 300; step++ {
+			bank := rng.Intn(c.NumBanks())
+			open, _ := c.Open(bank)
+			if !open {
+				at := c.EarliestACT(bank, now)
+				c.IssueACT(bank, uint32(rng.Intn(64)), at)
+				now = at
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				at := c.EarliestCol(bank, false, now)
+				done := c.IssueRD(bank, at)
+				slots = append(slots, busSlot{at + tm.TAA, done})
+				now = at
+			case 1:
+				at := c.EarliestCol(bank, true, now)
+				done := c.IssueWR(bank, at)
+				slots = append(slots, busSlot{at + tm.TAA, done})
+				now = at
+			default:
+				at := c.EarliestPRE(bank, now)
+				c.IssuePRE(bank, at)
+				now = at
+			}
+		}
+		for i := 1; i < len(slots); i++ {
+			if slots[i].start < slots[i-1].end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: earliest-issue times are monotone in `now`.
+func TestEarliestMonotoneProperty(t *testing.T) {
+	f := func(seed int64, d1, d2 uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChannel(mem(1, 2))
+		c.IssueACT(0, 1, 0)
+		c.IssueRD(0, c.EarliestCol(0, false, 0))
+		a := sim.Time(d1 % 100000)
+		b := a + sim.Time(d2%100000)
+		_ = rng
+		return c.EarliestCol(0, false, a) <= c.EarliestCol(0, false, b) &&
+			c.EarliestPRE(0, a) <= c.EarliestPRE(0, b) &&
+			c.EarliestACT(1, a) <= c.EarliestACT(1, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

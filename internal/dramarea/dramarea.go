@@ -1,0 +1,182 @@
+// Package dramarea is the analytic DRAM die area and access-energy
+// model for μbank partitioning, reproducing Fig. 6 of the paper.
+//
+// The paper derives its area numbers from a modified CACTI-3DD with a
+// 28 nm process, 3 metal layers, 0.5 μm global wire pitch, an 8 Gb /
+// 80 mm² die, 16 banks in 2 channels, and 512 Mb banks laid out as
+// 64×32 arrays of 512×512-cell mats. We rebuild the same structural
+// cost terms:
+//
+//   - Row-address latches: partitioning a bank into nW×nB μbanks needs
+//     one latch set per μbank between the global row predecoder and the
+//     local row decoders (Fig. 4a), so latch area grows with nW·nB.
+//   - Global-dataline multiplexers: each wordline-direction partition
+//     adds a set of multiplexers that steer one μbank's global
+//     datalines onto the shared global-dataline sense amplifiers
+//     (Fig. 4b), growing with nW.
+//   - A fixed mux stage between pairs of global datalines and each
+//     sense amplifier appears as soon as nW > 1 (§IV-B: a column select
+//     line picks 8 bitlines and a 2:1 mux feeds the GDSA).
+//
+// The three coefficients below are the calibrated area fractions of
+// those structures relative to a 512 Mb bank; with them the model
+// reproduces all 25 published grid cells of Fig. 6(a) to within ±0.001.
+package dramarea
+
+import (
+	"fmt"
+
+	"microbank/internal/config"
+)
+
+// Die geometry constants from §III-B and §IV-B of the paper.
+const (
+	DieGb          = 8    // die capacity, gigabits
+	DieAreaMM2     = 80.0 // baseline die area
+	BanksPerDie    = 16
+	ChannelsPerDie = 2
+	MatsPerBank    = 2048 // 64 × 32
+	MatRows        = 512
+	MatCols        = 512
+	RowBytes       = 8 * 1024 // full-bank DRAM row (page)
+	LineBytes      = 64
+)
+
+// Calibrated structural area fractions (relative to one bank).
+const (
+	// latchAreaFrac is the area of one μbank's row-address latch set.
+	latchAreaFrac = 0.00098
+	// muxAreaFrac is the per-wordline-partition global-dataline
+	// multiplexer column.
+	muxAreaFrac = 0.00102
+	// wlMuxFixedFrac is the one-time 2:1 mux stage between global
+	// datalines and the global-dataline sense amplifiers, needed as
+	// soon as the wordline direction is partitioned.
+	wlMuxFixedFrac = 0.002
+)
+
+// SSAAreaFactor is the relative die area of the single-subarray (SSA)
+// configuration from §IV-A: activating one mat per cache line needs 512
+// local datalines per mat and blows the die up 3.8× — the paper's
+// argument for grouping mats into μbanks instead.
+const SSAAreaFactor = 3.8
+
+// RelativeArea returns the DRAM die area of an (nW, nB) μbank
+// configuration relative to the unpartitioned (1,1) baseline
+// (Fig. 6a). It panics if nW or nB is not a positive power of two.
+func RelativeArea(nW, nB int) float64 {
+	checkPartition(nW, nB)
+	over := latchAreaFrac * float64(nW*nB-1)
+	over += muxAreaFrac * float64(nW-1)
+	if nW > 1 {
+		over += wlMuxFixedFrac
+	}
+	return 1 + over
+}
+
+// AreaOverhead returns RelativeArea minus one (the fractional die-area
+// cost of partitioning).
+func AreaOverhead(nW, nB int) float64 { return RelativeArea(nW, nB) - 1 }
+
+// DieAreaMM2For returns the absolute die area for a configuration.
+func DieAreaMM2For(nW, nB int) float64 { return DieAreaMM2 * RelativeArea(nW, nB) }
+
+// EnergyParams selects the interface energies used by the Fig. 6(b)
+// energy-per-read model.
+type EnergyParams struct {
+	ActPre8KBPJ  float64 // full-row ACT+PRE energy, pJ
+	RDWRPJPerBit float64
+	IOPJPerBit   float64
+	LatchPJ      float64 // per-activation latch update energy
+}
+
+// ParamsFrom extracts energy parameters from a memory configuration.
+func ParamsFrom(m config.Mem) EnergyParams {
+	return EnergyParams{
+		ActPre8KBPJ:  m.Energy.ActPre8KBPJ,
+		RDWRPJPerBit: m.Energy.RDWRPJPerBit,
+		IOPJPerBit:   m.Energy.IOPJPerBit,
+		LatchPJ:      m.Energy.LatchPJ,
+	}
+}
+
+// DefaultEnergyParams returns the LPDDR-TSI Table I values the paper
+// uses for Fig. 6(b).
+func DefaultEnergyParams() EnergyParams {
+	return ParamsFrom(config.MemPreset(config.LPDDRTSI, 1, 1))
+}
+
+// EnergyPerReadPJ returns the absolute energy of one 64 B read in an
+// (nW, nB) configuration when the activate-to-column-command ratio is
+// beta (β=1: every read pays a full ACT/PRE; β=0.1: the row is reused
+// for ten column accesses).
+//
+// Wordline partitioning divides the activated row (and hence ACT/PRE
+// energy) by nW. Bitline partitioning leaves the activated row size
+// unchanged but multiplies latch state; the latch energy term models
+// that second-order cost (§IV-B: "more latches dissipate power, but
+// their impact on the overall energy is negligible").
+func (p EnergyParams) EnergyPerReadPJ(nW, nB int, beta float64) float64 {
+	checkPartition(nW, nB)
+	if beta < 0 {
+		panic("dramarea: negative beta")
+	}
+	bits := float64(LineBytes * 8)
+	actPre := p.ActPre8KBPJ / float64(nW)
+	latch := p.LatchPJ * float64(nW*nB)
+	col := bits * (p.RDWRPJPerBit + p.IOPJPerBit)
+	return beta*(actPre+latch) + col
+}
+
+// RelativeEnergy returns EnergyPerReadPJ normalized to the (1,1)
+// configuration at the same β (Fig. 6b).
+func (p EnergyParams) RelativeEnergy(nW, nB int, beta float64) float64 {
+	return p.EnergyPerReadPJ(nW, nB, beta) / p.EnergyPerReadPJ(1, 1, beta)
+}
+
+// Breakdown is a per-bit energy decomposition for Fig. 1.
+type Breakdown struct {
+	CorePJb  float64 // ACT/PRE amortized per transferred bit
+	RDWRPJb  float64
+	IOPJb    float64
+	TotalPJb float64
+	Label    string
+}
+
+// Fig1Breakdown computes the pJ/b energy breakdown of one 64 B cache
+// line transfer for the three systems of Fig. 1: the DDR3-PCB baseline,
+// LPDDR-TSI without μbanks, and LPDDR-TSI with an (nW,nB) μbank
+// configuration. beta is the activates-per-column-access ratio.
+func Fig1Breakdown(m config.Mem, nW int, beta float64, label string) Breakdown {
+	bits := float64(LineBytes * 8)
+	actPrePerBit := beta * (m.Energy.ActPre8KBPJ / float64(nW)) / bits
+	b := Breakdown{
+		CorePJb: actPrePerBit,
+		RDWRPJb: m.Energy.RDWRPJPerBit,
+		IOPJb:   m.Energy.IOPJPerBit,
+		Label:   label,
+	}
+	b.TotalPJb = b.CorePJb + b.RDWRPJb + b.IOPJb
+	return b
+}
+
+// StandardPartitions returns the {1,2,4,8,16} axis used by Fig. 6,
+// Fig. 8, and Fig. 9.
+func StandardPartitions() []int { return []int{1, 2, 4, 8, 16} }
+
+// RepresentativeConfigs returns the <3%-area-overhead configurations
+// highlighted in Fig. 10/12/13: (1,1), (2,8), (4,4), (8,2).
+func RepresentativeConfigs() [][2]int {
+	return [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}}
+}
+
+func checkPartition(nW, nB int) {
+	if !pow2(nW) || !pow2(nB) {
+		panic(fmt.Sprintf("dramarea: nW=%d nB=%d must be positive powers of two", nW, nB))
+	}
+	if nW > MatRows || nB > MatCols {
+		panic(fmt.Sprintf("dramarea: partitioning (%d,%d) exceeds mat grid", nW, nB))
+	}
+}
+
+func pow2(v int) bool { return v > 0 && v&(v-1) == 0 }

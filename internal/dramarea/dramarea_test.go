@@ -1,0 +1,219 @@
+package dramarea
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/config"
+)
+
+// paperFig6a is the published relative-area grid, indexed
+// [nB-index][nW-index] over the axis {1,2,4,8,16}.
+var paperFig6a = [5][5]float64{
+	{1.000, 1.004, 1.008, 1.015, 1.031},
+	{1.001, 1.006, 1.012, 1.023, 1.047},
+	{1.003, 1.010, 1.019, 1.039, 1.078},
+	{1.007, 1.017, 1.035, 1.070, 1.142},
+	{1.014, 1.033, 1.066, 1.132, 1.268},
+}
+
+func TestRelativeAreaMatchesPaperGrid(t *testing.T) {
+	axis := StandardPartitions()
+	for bi, nB := range axis {
+		for wi, nW := range axis {
+			got := RelativeArea(nW, nB)
+			want := paperFig6a[bi][wi]
+			if math.Abs(got-want) > 0.002 {
+				t.Errorf("RelativeArea(%d,%d) = %.4f, paper %.3f", nW, nB, got, want)
+			}
+		}
+	}
+}
+
+func TestAreaAnchors(t *testing.T) {
+	if RelativeArea(1, 1) != 1.0 {
+		t.Error("baseline not exactly 1")
+	}
+	// §IV-B: (16,16) costs 26.8%.
+	if got := AreaOverhead(16, 16); math.Abs(got-0.268) > 0.003 {
+		t.Errorf("(16,16) overhead = %.4f, want ~0.268", got)
+	}
+	// "for most of the other μbank configurations (nW·nB < 64) the
+	// area overhead is under 5%".
+	for _, nW := range StandardPartitions() {
+		for _, nB := range StandardPartitions() {
+			if nW*nB < 64 && AreaOverhead(nW, nB) >= 0.05 {
+				t.Errorf("(%d,%d): overhead %.3f >= 5%% despite nW*nB<64", nW, nB, AreaOverhead(nW, nB))
+			}
+		}
+	}
+	// Representative configs of Fig. 10 were chosen for <3% overhead.
+	for _, cfgPair := range RepresentativeConfigs() {
+		if ov := AreaOverhead(cfgPair[0], cfgPair[1]); ov >= 0.03 {
+			t.Errorf("representative (%d,%d) overhead %.3f >= 3%%", cfgPair[0], cfgPair[1], ov)
+		}
+	}
+}
+
+func TestAreaMonotone(t *testing.T) {
+	axis := StandardPartitions()
+	for _, nB := range axis {
+		prev := 0.0
+		for _, nW := range axis {
+			a := RelativeArea(nW, nB)
+			if a < prev {
+				t.Errorf("area not monotone in nW at (%d,%d)", nW, nB)
+			}
+			prev = a
+		}
+	}
+	for _, nW := range axis {
+		prev := 0.0
+		for _, nB := range axis {
+			a := RelativeArea(nW, nB)
+			if a < prev {
+				t.Errorf("area not monotone in nB at (%d,%d)", nW, nB)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestWordlinePartitionCostsMoreThanBitline(t *testing.T) {
+	// At equal partition count, nW-partitioning costs extra routing.
+	for _, n := range []int{2, 4, 8, 16} {
+		if RelativeArea(n, 1) <= RelativeArea(1, n) {
+			t.Errorf("area(%d,1)=%.4f should exceed area(1,%d)=%.4f",
+				n, RelativeArea(n, 1), n, RelativeArea(1, n))
+		}
+	}
+}
+
+func TestSSAIsInfeasiblyLarge(t *testing.T) {
+	// Sanity: all modeled μbank configs stay far below the 3.8× SSA.
+	if RelativeArea(16, 16) >= SSAAreaFactor {
+		t.Error("μbank area exceeds SSA")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	for _, bad := range [][2]int{{3, 1}, {0, 1}, {1, -2}, {1024, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RelativeArea(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			RelativeArea(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestEnergyPerRead(t *testing.T) {
+	p := DefaultEnergyParams()
+	// β=1, (1,1): 30 nJ ACT/PRE + 512 b × 8 pJ/b = 34096 pJ + latch.
+	got := p.EnergyPerReadPJ(1, 1, 1.0)
+	if math.Abs(got-34096.2) > 1 {
+		t.Errorf("E(1,1,β=1) = %v pJ, want ~34096", got)
+	}
+	// nW=16 divides the ACT/PRE term by 16.
+	got16 := p.EnergyPerReadPJ(16, 1, 1.0)
+	want := 30000.0/16 + 4096
+	if math.Abs(got16-want) > 10 {
+		t.Errorf("E(16,1,β=1) = %v, want ~%v", got16, want)
+	}
+}
+
+func TestRelativeEnergyShape(t *testing.T) {
+	p := DefaultEnergyParams()
+	// Energy decreases with nW...
+	prev := math.Inf(1)
+	for _, nW := range StandardPartitions() {
+		e := p.RelativeEnergy(nW, 1, 1.0)
+		if e >= prev {
+			t.Errorf("relative energy not decreasing in nW: %v at nW=%d", e, nW)
+		}
+		prev = e
+	}
+	// ...is nearly flat in nB (latch-only growth)...
+	delta := p.RelativeEnergy(1, 16, 1.0) - p.RelativeEnergy(1, 1, 1.0)
+	if delta < 0 || delta > 0.01 {
+		t.Errorf("nB sweep moved energy by %v, want tiny positive", delta)
+	}
+	// ...and the nW saving is larger at β=1 than at β=0.1 (§IV-B).
+	savingHi := 1 - p.RelativeEnergy(16, 1, 1.0)
+	savingLo := 1 - p.RelativeEnergy(16, 1, 0.1)
+	if savingHi <= savingLo {
+		t.Errorf("β=1 saving %v should exceed β=0.1 saving %v", savingHi, savingLo)
+	}
+	if p.RelativeEnergy(1, 1, 0.5) != 1 {
+		t.Error("baseline relative energy != 1")
+	}
+}
+
+func TestEnergyNegativeBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DefaultEnergyParams().EnergyPerReadPJ(1, 1, -1)
+}
+
+func TestFig1Breakdown(t *testing.T) {
+	pcb := Fig1Breakdown(config.MemPreset(config.DDR3PCB, 1, 1), 1, 1.0, "PCB (baseline)")
+	tsi := Fig1Breakdown(config.MemPreset(config.LPDDRTSI, 1, 1), 1, 1.0, "TSI")
+	ub := Fig1Breakdown(config.MemPreset(config.LPDDRTSI, 8, 1), 8, 1.0, "TSI+ubanks")
+
+	// Fig. 1 anchor: PCB total is ~90-110 pJ/b (I/O 20 + RD 13 + core ~59).
+	if pcb.IOPJb != 20 || pcb.RDWRPJb != 13 {
+		t.Errorf("PCB I/O+RDWR = %v+%v, want 20+13", pcb.IOPJb, pcb.RDWRPJb)
+	}
+	if pcb.CorePJb < 50 || pcb.CorePJb > 70 {
+		t.Errorf("PCB core pJ/b = %v, want ~58.6 (30nJ over 512b)", pcb.CorePJb)
+	}
+	// TSI cuts I/O to 4 pJ/b; core term then dominates the total.
+	if tsi.IOPJb != 4 {
+		t.Errorf("TSI I/O = %v", tsi.IOPJb)
+	}
+	if tsi.CorePJb/tsi.TotalPJb < 0.7 {
+		t.Errorf("TSI core fraction = %v, want dominant (>0.7)", tsi.CorePJb/tsi.TotalPJb)
+	}
+	// μbanks re-balance: total drops well below TSI's.
+	if ub.TotalPJb >= tsi.TotalPJb/2 {
+		t.Errorf("μbank total %v not far below TSI total %v", ub.TotalPJb, tsi.TotalPJb)
+	}
+	if pcb.TotalPJb <= tsi.TotalPJb || tsi.TotalPJb <= ub.TotalPJb {
+		t.Error("Fig. 1 ordering PCB > TSI > TSI+μbank violated")
+	}
+}
+
+func TestDieAreaAbsolute(t *testing.T) {
+	if DieAreaMM2For(1, 1) != 80.0 {
+		t.Errorf("baseline die = %v mm², want 80", DieAreaMM2For(1, 1))
+	}
+	if got := DieAreaMM2For(16, 16); math.Abs(got-80*1.268) > 0.3 {
+		t.Errorf("(16,16) die = %v mm², want ~101.4", got)
+	}
+}
+
+// Property: area overhead is nonnegative, and energy is positive and
+// ≤ baseline for any valid partitioning at any β ∈ [0,2].
+func TestModelSanityProperty(t *testing.T) {
+	p := DefaultEnergyParams()
+	f := func(wExp, bExp uint8, betaRaw uint8) bool {
+		nW := 1 << (wExp % 5)
+		nB := 1 << (bExp % 5)
+		beta := float64(betaRaw%200) / 100.0
+		if AreaOverhead(nW, nB) < 0 {
+			return false
+		}
+		e := p.EnergyPerReadPJ(nW, nB, beta)
+		base := p.EnergyPerReadPJ(1, nB, beta)
+		return e > 0 && e <= base+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

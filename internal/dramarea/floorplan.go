@@ -1,0 +1,115 @@
+package dramarea
+
+// Floorplan-level accounting for the μbank organization (§IV-B). The
+// top-level RelativeArea model charges three calibrated cost terms;
+// this file derives the underlying structure counts — mats, wordline
+// segments, global datalines, column select lines, and latch bits — so
+// the cost terms can be cross-checked against the device geometry the
+// paper specifies (512 Mb bank = 64×32 mats of 512×512 cells, 8 KB row,
+// 64 B line, 3 metal layers, 0.5 μm global wire pitch).
+
+import "fmt"
+
+// Bank layout constants (§IV-B).
+const (
+	// MatRowsPerBank × MatColsPerBank = 2048 mats per 512 Mb bank.
+	MatRowsPerBank = 64 // rows of mats along the bitline direction
+	MatColsPerBank = 32 // columns of mats along the wordline direction
+	// RowMats is how many mats one full 8 KB row activation spans: the
+	// row provides 8 KB = 65536 bits; with 512 bits of a row in each
+	// mat, 128 mats activate together — two physical mat rows.
+	RowMats = RowBytes * 8 / MatCols
+	// GlobalDatalinesPerBankBase is the baseline global dataline count:
+	// a 64 B transfer moves 512 bits, each on its own global dataline,
+	// and a column select line picks 8 bitlines per mat (§IV-B).
+	GlobalDatalinesPerBankBase = LineBytes * 8
+)
+
+// Floorplan describes the per-bank structure counts of one (nW, nB)
+// μbank configuration.
+type Floorplan struct {
+	NW, NB int
+
+	// MicrobanksPerBank = nW × nB.
+	MicrobanksPerBank int
+	// MatsPerMicrobank is the mat count of one μbank tile.
+	MatsPerMicrobank int
+	// MicroRowMats is how many mats activate per μbank row (the paper's
+	// energy argument: activation energy scales with this).
+	MicroRowMats int
+	// GlobalDatalines is the total global dataline count per bank: the
+	// per-μbank dataline bundle is fixed at the column width, so the
+	// total grows with nW (each wordline partition carries its own
+	// bundle to the shared sense amplifiers).
+	GlobalDatalines int
+	// ColumnSelectLines per mat column: the number of selectable line
+	// positions within one μbank row; it shrinks as rows shrink, which
+	// is why the paper notes GDL+CSL wiring stays roughly constant
+	// until nW = 16.
+	ColumnSelectLines int
+	// LatchBits is the row-address latch storage added per bank: one
+	// latch set per μbank, wide enough to name a local wordline within
+	// the μbank (the Fig. 4a structure).
+	LatchBits int
+}
+
+// NewFloorplan computes the structure counts for a partitioning.
+func NewFloorplan(nW, nB int) Floorplan {
+	checkPartition(nW, nB)
+	if nW > MatColsPerBank || nB > MatRowsPerBank {
+		panic(fmt.Sprintf("dramarea: (%d,%d) partitions exceed the %d×%d mat grid",
+			nW, nB, MatColsPerBank, MatRowsPerBank))
+	}
+	f := Floorplan{NW: nW, NB: nB}
+	f.MicrobanksPerBank = nW * nB
+	f.MatsPerMicrobank = MatsPerBank / f.MicrobanksPerBank
+	f.MicroRowMats = RowMats / nW
+	f.GlobalDatalines = GlobalDatalinesPerBankBase * nW
+	// Lines per μbank row, selectable 8 bitlines at a time per mat.
+	linesPerMicroRow := (RowBytes / nW) / LineBytes
+	f.ColumnSelectLines = linesPerMicroRow
+	// Rows per μbank: bank rows divided across nB partitions; the latch
+	// must name one of them.
+	rowsPerBank := MatRowsPerBank / 2 * MatRows // two mat-rows activate per row
+	rowsPerMicro := rowsPerBank / nB
+	f.LatchBits = f.MicrobanksPerBank * ceilLog2(rowsPerMicro)
+	return f
+}
+
+// WirePerBankUnits returns the combined global-dataline and
+// column-select wiring per bank in baseline units; §IV-B argues this
+// sum stays roughly flat as nW grows (datalines grow, CSLs shrink)
+// until the 16-way point.
+func (f Floorplan) WirePerBankUnits() int {
+	return f.GlobalDatalines + f.ColumnSelectLines*4 // CSL pitch ≈ 4× GDL pitch share
+}
+
+// ActivatedCellsPerACT returns how many DRAM cells one activate opens —
+// the quantity ACT/PRE energy is proportional to.
+func (f Floorplan) ActivatedCellsPerACT() int {
+	return f.MicroRowMats * MatCols // one local wordline per activated mat
+}
+
+// SSA describes the single-subarray alternative the paper rejects
+// (§IV-A): one mat supplies a whole cache line, needing 512 local
+// datalines per mat and blowing up the die 3.8×.
+type SSA struct {
+	LocalDatalinesPerMat int
+	AreaFactor           float64
+}
+
+// SSAConfig returns the rejected single-subarray design point.
+func SSAConfig() SSA {
+	return SSA{LocalDatalinesPerMat: LineBytes * 8, AreaFactor: SSAAreaFactor}
+}
+
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	n := 0
+	for x := v - 1; x > 0; x >>= 1 {
+		n++
+	}
+	return n
+}

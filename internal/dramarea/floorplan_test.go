@@ -1,0 +1,133 @@
+package dramarea
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorplanBaseline(t *testing.T) {
+	f := NewFloorplan(1, 1)
+	if f.MicrobanksPerBank != 1 || f.MatsPerMicrobank != 2048 {
+		t.Fatalf("baseline tile = %+v", f)
+	}
+	// A full 8 KB row spans 128 mats (two mat rows), per §IV-B.
+	if f.MicroRowMats != 128 {
+		t.Fatalf("row mats = %d, want 128", f.MicroRowMats)
+	}
+	if RowMats != 128 {
+		t.Fatalf("RowMats constant = %d", RowMats)
+	}
+	// 512 global datalines move one 64 B line.
+	if f.GlobalDatalines != 512 {
+		t.Fatalf("GDLs = %d", f.GlobalDatalines)
+	}
+	// 128 selectable lines per 8 KB row.
+	if f.ColumnSelectLines != 128 {
+		t.Fatalf("CSLs = %d", f.ColumnSelectLines)
+	}
+}
+
+func TestFloorplanPartitioning(t *testing.T) {
+	f := NewFloorplan(4, 2)
+	if f.MicrobanksPerBank != 8 || f.MatsPerMicrobank != 256 {
+		t.Fatalf("(4,2) = %+v", f)
+	}
+	// nW=4 quarters the activated mats.
+	if f.MicroRowMats != 32 {
+		t.Fatalf("activated mats = %d, want 32", f.MicroRowMats)
+	}
+	// Datalines scale with nW; CSLs shrink with nW.
+	if f.GlobalDatalines != 2048 {
+		t.Fatalf("GDLs = %d", f.GlobalDatalines)
+	}
+	if f.ColumnSelectLines != 32 {
+		t.Fatalf("CSLs = %d", f.ColumnSelectLines)
+	}
+	if f.LatchBits == 0 {
+		t.Fatal("no latch bits")
+	}
+}
+
+func TestActivatedCellsDriveEnergyModel(t *testing.T) {
+	// The floorplan's activated-cell count must scale exactly like the
+	// energy model's ACT/PRE term: ∝ 1/nW, independent of nB.
+	base := NewFloorplan(1, 1).ActivatedCellsPerACT()
+	for _, nW := range StandardPartitions() {
+		for _, nB := range []int{1, 4, 16} {
+			got := NewFloorplan(nW, nB).ActivatedCellsPerACT()
+			if got*nW != base {
+				t.Errorf("(%d,%d): activated cells %d × nW != baseline %d", nW, nB, got, base)
+			}
+		}
+	}
+}
+
+func TestWirePerBankRoughlyFlatUntil16(t *testing.T) {
+	// §IV-B: the GDL+CSL sum per bank "does not increase ... until 16"
+	// — CSL reduction compensates dataline growth at small nW.
+	base := NewFloorplan(1, 1).WirePerBankUnits()
+	for _, nW := range []int{2, 4} {
+		w := NewFloorplan(nW, 1).WirePerBankUnits()
+		if w > base*3 {
+			t.Errorf("nW=%d wiring %d far above baseline %d", nW, w, base)
+		}
+	}
+	w16 := NewFloorplan(16, 1).WirePerBankUnits()
+	if w16 <= NewFloorplan(4, 1).WirePerBankUnits() {
+		t.Error("wiring should grow by nW=16")
+	}
+}
+
+func TestLatchBitsGrowWithPartitioning(t *testing.T) {
+	prev := 0
+	for _, n := range StandardPartitions() {
+		f := NewFloorplan(n, n)
+		if f.LatchBits <= prev {
+			t.Fatalf("latch bits not growing: %d at (%d,%d)", f.LatchBits, n, n)
+		}
+		prev = f.LatchBits
+	}
+}
+
+func TestFloorplanBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversize partitioning")
+		}
+	}()
+	NewFloorplan(64, 1) // only 32 mat columns
+}
+
+func TestSSAConfig(t *testing.T) {
+	s := SSAConfig()
+	if s.LocalDatalinesPerMat != 512 {
+		t.Fatalf("SSA datalines = %d, want 512 (§IV-A)", s.LocalDatalinesPerMat)
+	}
+	if s.AreaFactor != 3.8 {
+		t.Fatalf("SSA area = %v, want 3.8", s.AreaFactor)
+	}
+}
+
+// Property: tile decomposition conserves mats and cells for all valid
+// partitionings.
+func TestFloorplanConservationProperty(t *testing.T) {
+	f := func(wExp, bExp uint8) bool {
+		nW := 1 << (wExp % 6) // up to 32
+		nB := 1 << (bExp % 7) // up to 64
+		fp := NewFloorplan(nW, nB)
+		return fp.MatsPerMicrobank*fp.MicrobanksPerBank == MatsPerBank &&
+			fp.ActivatedCellsPerACT()*nW == RowMats*MatCols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for in, want := range cases {
+		if got := ceilLog2(in); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

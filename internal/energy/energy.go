@@ -1,0 +1,102 @@
+// Package energy aggregates system energy the way the paper's
+// evaluation reports it (Figs. 1, 10, 14): a power breakdown over
+// {Processor, ACT/PRE, DRAM static, RD/WR, I/O} plus the energy-delay
+// product used for every 1/EDP figure.
+package energy
+
+import (
+	"microbank/internal/dram"
+	"microbank/internal/sim"
+)
+
+// Breakdown is the paper's power decomposition for one run.
+type Breakdown struct {
+	RuntimePS float64
+
+	ProcessorPJ  float64
+	ActPrePJ     float64 // includes refresh energy (activation class)
+	DRAMStaticPJ float64
+	RdWrPJ       float64
+	IOPJ         float64
+}
+
+// Compute builds a breakdown from run outputs.
+//
+//	instructions — total committed instructions (all cores)
+//	corePJPerOp  — McPAT-derived core energy per operation (§III-B)
+//	dramTotals   — summed channel energy counters
+//	staticMW     — DRAM background power across all ranks, milliwatts
+//	runtime      — simulated wall time
+func Compute(instructions uint64, corePJPerOp float64, dramTotals dram.Energy,
+	staticMW float64, runtime sim.Time) Breakdown {
+	rt := float64(runtime)
+	return Breakdown{
+		RuntimePS:    rt,
+		ProcessorPJ:  float64(instructions) * corePJPerOp,
+		ActPrePJ:     dramTotals.ActPrePJ + dramTotals.RefreshPJ + dramTotals.LatchPJ,
+		DRAMStaticPJ: staticMW * 1e-3 * rt, // mW × ps = 1e-3 pJ/ps × ps
+		RdWrPJ:       dramTotals.RdWrPJ,
+		IOPJ:         dramTotals.IOPJ,
+	}
+}
+
+// TotalPJ returns total system energy.
+func (b Breakdown) TotalPJ() float64 {
+	return b.ProcessorPJ + b.ActPrePJ + b.DRAMStaticPJ + b.RdWrPJ + b.IOPJ
+}
+
+// MemoryPJ returns main-memory energy only.
+func (b Breakdown) MemoryPJ() float64 {
+	return b.ActPrePJ + b.DRAMStaticPJ + b.RdWrPJ + b.IOPJ
+}
+
+// watts converts an energy share to average power over the runtime.
+func (b Breakdown) watts(pj float64) float64 {
+	if b.RuntimePS == 0 {
+		return 0
+	}
+	return pj / b.RuntimePS // pJ / ps == W
+}
+
+// ProcessorW returns average processor power.
+func (b Breakdown) ProcessorW() float64 { return b.watts(b.ProcessorPJ) }
+
+// ActPreW returns average activate/precharge power.
+func (b Breakdown) ActPreW() float64 { return b.watts(b.ActPrePJ) }
+
+// DRAMStaticW returns average DRAM background power.
+func (b Breakdown) DRAMStaticW() float64 { return b.watts(b.DRAMStaticPJ) }
+
+// RdWrW returns average DRAM array read/write power.
+func (b Breakdown) RdWrW() float64 { return b.watts(b.RdWrPJ) }
+
+// IOW returns average interface I/O power.
+func (b Breakdown) IOW() float64 { return b.watts(b.IOPJ) }
+
+// TotalW returns average total power.
+func (b Breakdown) TotalW() float64 { return b.watts(b.TotalPJ()) }
+
+// ActPreShareOfMemory returns ACT/PRE power as a fraction of memory
+// power (the §VI-D "76.2% for mix-high" metric).
+func (b Breakdown) ActPreShareOfMemory() float64 {
+	m := b.MemoryPJ()
+	if m == 0 {
+		return 0
+	}
+	return b.ActPrePJ / m
+}
+
+// EDPJs returns the energy-delay product in joule-seconds.
+func (b Breakdown) EDPJs() float64 {
+	return b.TotalPJ() * 1e-12 * b.RuntimePS * 1e-12
+}
+
+// RelInvEDP returns this run's 1/EDP relative to a baseline (higher is
+// better, matching Figs. 9, 10, 12, 14).
+func RelInvEDP(baseline, b Breakdown) float64 {
+	e := b.EDPJs()
+	if e == 0 {
+		return 0
+	}
+	return baseline.EDPJs() / e
+}

@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/dram"
+	"microbank/internal/sim"
+)
+
+func sample() Breakdown {
+	d := dram.Energy{ActPrePJ: 3_000_000, RdWrPJ: 1_000_000, IOPJ: 1_000_000, RefreshPJ: 100_000, LatchPJ: 1_000}
+	return Compute(1_000_000, 200, d, 100, sim.Time(1e9)) // 1 ms runtime, 100 mW static
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	b := sample()
+	if b.ProcessorPJ != 200_000_000 {
+		t.Errorf("processor = %v pJ", b.ProcessorPJ)
+	}
+	if b.ActPrePJ != 3_101_000 {
+		t.Errorf("actpre = %v pJ (refresh+latch folded in)", b.ActPrePJ)
+	}
+	// 100 mW × 1e9 ps = 0.1 W × 1 ms = 0.1 mJ = 1e8 pJ.
+	if math.Abs(b.DRAMStaticPJ-1e8) > 1 {
+		t.Errorf("static = %v pJ, want 1e8", b.DRAMStaticPJ)
+	}
+	total := b.ProcessorPJ + b.ActPrePJ + b.DRAMStaticPJ + b.RdWrPJ + b.IOPJ
+	if math.Abs(b.TotalPJ()-total) > 1e-6 {
+		t.Error("TotalPJ mismatch")
+	}
+	if b.MemoryPJ() >= b.TotalPJ() {
+		t.Error("memory should be less than total")
+	}
+}
+
+func TestPowerConversions(t *testing.T) {
+	b := sample()
+	// 2e8 pJ over 1e9 ps = 0.2 W.
+	if math.Abs(b.ProcessorW()-0.2) > 1e-9 {
+		t.Errorf("ProcessorW = %v, want 0.2", b.ProcessorW())
+	}
+	if math.Abs(b.DRAMStaticW()-0.1) > 1e-9 {
+		t.Errorf("DRAMStaticW = %v", b.DRAMStaticW())
+	}
+	sum := b.ProcessorW() + b.ActPreW() + b.DRAMStaticW() + b.RdWrW() + b.IOW()
+	if math.Abs(sum-b.TotalW()) > 1e-9 {
+		t.Error("component watts do not sum to TotalW")
+	}
+	var zero Breakdown
+	if zero.TotalW() != 0 {
+		t.Error("zero runtime should give zero power")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	b := sample()
+	// E ≈ 3.052e8 pJ = 3.052e-4 J; D = 1e-3 s → EDP ≈ 3.05e-7 Js.
+	e := b.TotalPJ() * 1e-12
+	want := e * 1e-3
+	if math.Abs(b.EDPJs()-want)/want > 1e-9 {
+		t.Errorf("EDP = %v, want %v", b.EDPJs(), want)
+	}
+}
+
+func TestRelInvEDP(t *testing.T) {
+	base := sample()
+	// Same energy, half the runtime → half the EDP → 2× 1/EDP... but
+	// energy scales with static power too; construct directly:
+	better := base
+	better.RuntimePS = base.RuntimePS / 2
+	got := RelInvEDP(base, better)
+	if got <= 1.9 || got >= 2.1 {
+		t.Fatalf("RelInvEDP = %v, want ~2", got)
+	}
+	if RelInvEDP(base, base) != 1 {
+		t.Fatal("self-relative EDP != 1")
+	}
+	if RelInvEDP(base, Breakdown{}) != 0 {
+		t.Fatal("zero breakdown should yield 0")
+	}
+}
+
+func TestActPreShare(t *testing.T) {
+	b := sample()
+	want := b.ActPrePJ / b.MemoryPJ()
+	if b.ActPreShareOfMemory() != want {
+		t.Fatal("share mismatch")
+	}
+	var zero Breakdown
+	if zero.ActPreShareOfMemory() != 0 {
+		t.Fatal("zero share")
+	}
+}
+
+// Property: the breakdown is linear in its inputs — doubling every
+// energy input doubles total energy, and EDP scales accordingly.
+func TestLinearityProperty(t *testing.T) {
+	f := func(instrRaw uint32, actRaw, rdRaw, ioRaw uint32, rtRaw uint32) bool {
+		instr := uint64(instrRaw)
+		rt := sim.Time(rtRaw) + 1
+		d := dram.Energy{ActPrePJ: float64(actRaw), RdWrPJ: float64(rdRaw), IOPJ: float64(ioRaw)}
+		b1 := Compute(instr, 200, d, 50, rt)
+		d2 := dram.Energy{ActPrePJ: 2 * d.ActPrePJ, RdWrPJ: 2 * d.RdWrPJ, IOPJ: 2 * d.IOPJ}
+		b2 := Compute(2*instr, 200, d2, 100, rt)
+		return math.Abs(b2.TotalPJ()-2*b1.TotalPJ()) < 1e-6*(1+b1.TotalPJ())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationScheduler(t *testing.T) {
+	rows, err := AblationScheduler(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	// Reordering schedulers must not lose to strict FCFS.
+	if byName["FR-FCFS"].IPC < byName["FCFS"].IPC*0.98 {
+		t.Errorf("FR-FCFS (%v) below FCFS (%v)", byName["FR-FCFS"].IPC, byName["FCFS"].IPC)
+	}
+	if byName["PAR-BS"].IPC < byName["FCFS"].IPC*0.98 {
+		t.Errorf("PAR-BS (%v) below FCFS (%v)", byName["PAR-BS"].IPC, byName["FCFS"].IPC)
+	}
+}
+
+func TestAblationQueueDepth(t *testing.T) {
+	rows, err := AblationQueueDepth(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §V: μbanks reduce average queue occupancy at equal depth.
+	occ := map[string]float64{}
+	for _, r := range rows {
+		occ[r.Variant] = r.Extra
+	}
+	if occ["(2,8) depth=32"] >= occ["(1,1) depth=32"] {
+		t.Errorf("μbank occupancy %v not below baseline %v",
+			occ["(2,8) depth=32"], occ["(1,1) depth=32"])
+	}
+}
+
+func TestAblationActWindow(t *testing.T) {
+	rows, err := AblationActWindow(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Disabling the scaling can only hurt (or not change) nW=16 IPC.
+	if rows[1].IPC > rows[0].IPC*1.02 {
+		t.Errorf("unscaled windows improved IPC: %v vs %v", rows[1].IPC, rows[0].IPC)
+	}
+}
+
+func TestAblationRefresh(t *testing.T) {
+	rows, err := AblationRefresh(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		off := strings.Contains(r.Variant, "refresh=off")
+		if !off && r.Extra == 0 {
+			t.Errorf("%s: no refreshes counted", r.Variant)
+		}
+		if off && r.Extra != 0 {
+			t.Errorf("%s: refreshes counted with refresh off", r.Variant)
+		}
+	}
+	// Per-bank refreshes are issued more often than all-bank ones.
+	byVariant := map[string]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.Extra
+	}
+	if byVariant["(1,1) refresh=per-bank"] <= byVariant["(1,1) refresh=all-bank"] {
+		t.Errorf("per-bank count %v not above all-bank %v",
+			byVariant["(1,1) refresh=per-bank"], byVariant["(1,1) refresh=all-bank"])
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	tb, err := Ablations(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"scheduler", "queue-depth", "act-window", "refresh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation table missing %q", want)
+		}
+	}
+}
+
+func TestRelatedWork(t *testing.T) {
+	rows, err := RelatedWork(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]RelatedRow{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	ub := byName["ubank (2,8)"]
+	salp := byName["SALP-like (subarray parallelism)"]
+	half := byName["Half-DRAM-like (half row)"]
+	hmc := byName["HMC-serial (1,1)"]
+	rs := byName["rank-subset-like (1/4 rank)"]
+	// Rank subsetting buys activation energy but pays bus occupancy:
+	// its 1/EDP gain must trail the equal-energy μbank/Half-DRAM route
+	// per activated-row size... it beats baseline but not the (2,8) μbank.
+	if rs.RelInvEDP <= 1.0 || rs.RelInvEDP >= ub.RelInvEDP+0.5 {
+		t.Errorf("rank-subset 1/EDP = %v (μbank %v), want in (1, μbank+0.5)", rs.RelInvEDP, ub.RelInvEDP)
+	}
+	// μbank subsumes both partial designs: at least as good on 1/EDP.
+	if ub.RelInvEDP < salp.RelInvEDP || ub.RelInvEDP < half.RelInvEDP {
+		t.Errorf("μbank 1/EDP %v below SALP %v or Half-DRAM %v",
+			ub.RelInvEDP, salp.RelInvEDP, half.RelInvEDP)
+	}
+	// Half-DRAM halves activation energy → 1/EDP gain without much IPC.
+	if half.RelInvEDP <= 1.1 {
+		t.Errorf("Half-DRAM 1/EDP = %v, want energy gain", half.RelInvEDP)
+	}
+	// §VII: HMC-style serial links are less energy-efficient than TSI
+	// at this system size (higher latency and static power).
+	if hmc.RelInvEDP >= 1.0 {
+		t.Errorf("HMC 1/EDP = %v, want below TSI baseline", hmc.RelInvEDP)
+	}
+	if hmc.RelIPC >= 1.0 {
+		t.Errorf("HMC relIPC = %v, want below baseline (SerDes latency)", hmc.RelIPC)
+	}
+	if !strings.Contains(RelatedWorkTable(rows).String(), "HMC") {
+		t.Fatal("table render")
+	}
+}
+
+func TestAblationBankHash(t *testing.T) {
+	rows, err := AblationBankHash(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 {
+			t.Fatalf("%s: IPC %v", r.Variant, r.IPC)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+// Analytic (model-only) experiments: Fig. 1, Table I, Fig. 6(a)/(b),
+// Fig. 11, and Table II. These need no simulation runs.
+
+import (
+	"fmt"
+
+	"microbank/internal/addr"
+	"microbank/internal/config"
+	"microbank/internal/dramarea"
+	"microbank/internal/sim"
+	"microbank/internal/stats"
+	"microbank/internal/workload"
+)
+
+// Fig1 reproduces the energy-breakdown bars (pJ/b) of Fig. 1 for the
+// PCB baseline, TSI, and TSI+μbank systems. beta is the
+// activate-per-column-access ratio; the paper's Fig. 1 corresponds to
+// low access locality (β = 1). nW is the μbank wordline partitioning
+// of the third bar.
+func Fig1(beta float64, nW int) *stats.Table {
+	rows := []dramarea.Breakdown{
+		dramarea.Fig1Breakdown(config.MemPreset(config.DDR3PCB, 1, 1), 1, beta, "PCB (baseline)"),
+		dramarea.Fig1Breakdown(config.MemPreset(config.LPDDRTSI, 1, 1), 1, beta, "TSI"),
+		dramarea.Fig1Breakdown(config.MemPreset(config.LPDDRTSI, nW, 1), nW, beta, "TSI+ubanks"),
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Fig. 1: energy breakdown (pJ/b), beta=%.1f", beta),
+		"System", "Core ACT/PRE", "RD/WR", "I/O", "Total")
+	for _, b := range rows {
+		t.AddRow(b.Label, b.CorePJb, b.RDWRPJb, b.IOPJb, b.TotalPJb)
+	}
+	return t
+}
+
+// Table1 prints the modeled DRAM energy and timing parameters and
+// must match the paper's Table I by construction.
+func Table1() *stats.Table {
+	pcb := config.MemPreset(config.DDR3PCB, 1, 1)
+	tsi := config.MemPreset(config.LPDDRTSI, 1, 1)
+	t := stats.NewTable("Table I: DRAM energy and timing parameters", "Parameter", "Value")
+	t.AddRow("I/O energy (DDR3-PCB)", fmt.Sprintf("%gpJ/b", pcb.Energy.IOPJPerBit))
+	t.AddRow("I/O energy (LPDDR-TSI)", fmt.Sprintf("%gpJ/b", tsi.Energy.IOPJPerBit))
+	t.AddRow("RD/WR energy w/o I/O (DDR3-PCB)", fmt.Sprintf("%gpJ/b", pcb.Energy.RDWRPJPerBit))
+	t.AddRow("RD/WR energy w/o I/O (LPDDR-TSI)", fmt.Sprintf("%gpJ/b", tsi.Energy.RDWRPJPerBit))
+	t.AddRow("ACT+PRE energy (8KB DRAM page)", fmt.Sprintf("%gnJ", tsi.Energy.ActPre8KBPJ/1000))
+	t.AddSeparator()
+	ns := func(d sim.Time) string { return fmt.Sprintf("%dns", d/sim.Nanosecond) }
+	t.AddRow("tRCD", ns(tsi.Timing.TRCD))
+	t.AddRow("tAA (DDR3)", ns(pcb.Timing.TAA))
+	t.AddRow("tAA (TSI)", ns(tsi.Timing.TAA))
+	t.AddRow("tRAS", ns(tsi.Timing.TRAS))
+	t.AddRow("tRP", ns(tsi.Timing.TRP))
+	return t
+}
+
+// Fig6a returns the relative DRAM die area over the (nW, nB) grid.
+func Fig6a() *GridData {
+	g := &GridData{Workload: "-", Metric: "relative area", Rel: map[[2]int]float64{}}
+	for _, nB := range Axis {
+		for _, nW := range Axis {
+			g.Rel[[2]int{nW, nB}] = dramarea.RelativeArea(nW, nB)
+		}
+	}
+	return g
+}
+
+// Fig6b returns the relative DRAM energy per read at the given β.
+func Fig6b(beta float64) *GridData {
+	p := dramarea.DefaultEnergyParams()
+	g := &GridData{Workload: "-", Metric: fmt.Sprintf("relative energy (beta=%.1f)", beta),
+		Rel: map[[2]int]float64{}}
+	for _, nB := range Axis {
+		for _, nW := range Axis {
+			g.Rel[[2]int{nW, nB}] = p.RelativeEnergy(nW, nB, beta)
+		}
+	}
+	return g
+}
+
+// Fig11 prints the address-interleaving bit layouts of Fig. 11 for the
+// (2,8) configuration at both a cache-line base bit (iB=6) and a
+// DRAM-row base bit (iB=12).
+func Fig11() *stats.Table {
+	org := config.MemPreset(config.LPDDRTSI, 2, 8).Org
+	t := stats.NewTable("Fig. 11: address interleaving, (nW,nB) = (2,8)", "iB", "Layout (LSB first)")
+	for _, iB := range []int{6, 12} {
+		m := addr.MustMapper(org, iB)
+		t.AddRow(fmt.Sprint(iB), m.Layout())
+	}
+	return t
+}
+
+// Table2 prints the SPEC CPU2006 MAPKI grouping (Table II), restricted
+// to the benchmarks modeled in package workload.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table II: SPEC CPU2006 groups by MAPKI", "Group", "Modeled applications")
+	for _, c := range []workload.MAPKIClass{workload.SpecHigh, workload.SpecMed, workload.SpecLow} {
+		names := workload.Group(c)
+		t.AddRow(c.String(), fmt.Sprint(names))
+	}
+	return t
+}

@@ -1,0 +1,229 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§III-B, §IV-B, §VI): each Fig*/Table* function
+// runs the required simulations (or analytic models) and returns both
+// structured data and a formatted table matching the paper's layout.
+//
+// Absolute numbers differ from the paper — the substrate is this
+// repository's simulator and synthetic workloads, not McSimA+ with
+// SimPoint traces — but the comparisons each figure makes (who wins,
+// by roughly what factor, where the crossovers fall) are preserved;
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"microbank/internal/config"
+	"microbank/internal/stats"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+// Options sets the fidelity/cost tradeoff for simulation-backed
+// experiments.
+type Options struct {
+	// Instr is the per-core instruction budget (half of it is cache
+	// warm-up). Zero selects the default (30k quick, 240k full).
+	Instr uint64
+	// Cores is the populated core count for multiprogrammed and
+	// multithreaded workloads. Zero selects 16 (quick) or 64 (full).
+	Cores int
+	// Quick selects reduced workload sets (one representative per
+	// group) for fast runs such as benchmarks.
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instr == 0 {
+		if o.Quick {
+			o.Instr = 30000
+		} else {
+			o.Instr = 240000
+		}
+	}
+	if o.Cores == 0 {
+		if o.Quick {
+			o.Cores = 16
+		} else {
+			o.Cores = 64
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Axis is the partition-count axis used by Figs. 6, 8, and 9.
+var Axis = []int{1, 2, 4, 8, 16}
+
+// RepresentativeConfigs are the <3%-area-overhead (nW,nB) points used
+// by Figs. 10, 12, and 13.
+var RepresentativeConfigs = [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}}
+
+// runSingle executes a single-core, single-channel run (the paper's
+// setup for single-threaded SPEC and DB workloads).
+func runSingle(name string, iface config.Interface, nW, nB int,
+	mut func(*config.System), o Options) (system.Result, error) {
+	sys := config.SingleCore(config.MemPreset(iface, nW, nB))
+	if mut != nil {
+		mut(&sys)
+	}
+	spec := system.UniformSpec(sys, workload.MustGet(name), o.Instr, o.Seed)
+	spec.WarmupInstr = o.Instr / 2
+	return system.Run(spec)
+}
+
+// runMulti executes a multicore run with the full channel population.
+func runMulti(profileFor func(core int) workload.Profile, iface config.Interface,
+	nW, nB int, mut func(*config.System), o Options) (system.Result, error) {
+	sys := config.DefaultSystem(config.MemPreset(iface, nW, nB))
+	sys.Cores = o.Cores
+	if mut != nil {
+		mut(&sys)
+	}
+	profs := make([]workload.Profile, sys.Cores)
+	for i := range profs {
+		profs[i] = profileFor(i)
+	}
+	// Multicore runs halve the per-core budget (wall time still grows
+	// with the core count, but refresh and warm-up effects stay evenly
+	// amortized across configurations).
+	instr := o.Instr / 2
+	if instr < 4000 {
+		instr = 4000
+	}
+	spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
+		WarmupInstr: instr / 2, Seed: o.Seed}
+	return system.Run(spec)
+}
+
+// specGroup returns the benchmark names evaluated for a named workload
+// set, honoring Quick mode.
+func specGroup(set string, quick bool) []string {
+	switch set {
+	case "spec-high":
+		if quick {
+			return []string{"429.mcf", "470.lbm", "462.libquantum"}
+		}
+		return workload.Group(workload.SpecHigh)
+	case "spec-all":
+		if quick {
+			return []string{"429.mcf", "470.lbm", "403.gcc", "453.povray"}
+		}
+		return workload.SpecAll()
+	default:
+		return []string{set}
+	}
+}
+
+// GridData holds one workload's metric over the (nW,nB) grid,
+// normalized to the (1,1) cell.
+type GridData struct {
+	Workload string
+	Metric   string // "IPC" or "1/EDP"
+	Rel      map[[2]int]float64
+}
+
+// At returns the normalized value at (nW, nB).
+func (g *GridData) At(nW, nB int) float64 { return g.Rel[[2]int{nW, nB}] }
+
+// Best returns the grid point with the highest value.
+func (g *GridData) Best() (nW, nB int, val float64) {
+	for k, v := range g.Rel {
+		if v > val {
+			nW, nB, val = k[0], k[1], v
+		}
+	}
+	return
+}
+
+// Table renders the grid in the paper's layout (nW across, nB down).
+func (g *GridData) Table(title string) *stats.Table {
+	header := []string{"nB\\nW"}
+	for _, w := range Axis {
+		header = append(header, fmt.Sprint(w))
+	}
+	t := stats.NewTable(title, header...)
+	for _, b := range Axis {
+		row := []any{fmt.Sprint(b)}
+		for _, w := range Axis {
+			row = append(row, g.At(w, b))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// CSV renders the grid as comma-separated values with an nB row header
+// and nW column header, for plotting tools.
+func (g *GridData) CSV() string {
+	out := "nB\\nW"
+	for _, w := range Axis {
+		out += fmt.Sprintf(",%d", w)
+	}
+	out += "\n"
+	for _, b := range Axis {
+		out += fmt.Sprint(b)
+		for _, w := range Axis {
+			out += fmt.Sprintf(",%.4f", g.At(w, b))
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// cellMetrics captures the per-run values grids are built from.
+type cellMetrics struct {
+	ipc    float64
+	edpJs  float64
+	result system.Result
+}
+
+// runGridCells runs one workload over the full partition grid.
+func runGridCells(name string, o Options) (map[[2]int]cellMetrics, error) {
+	cells := map[[2]int]cellMetrics{}
+	for _, nB := range Axis {
+		for _, nW := range Axis {
+			res, err := runSingle(name, config.LPDDRTSI, nW, nB, nil, o)
+			if err != nil {
+				return nil, fmt.Errorf("%s (%d,%d): %w", name, nW, nB, err)
+			}
+			cells[[2]int{nW, nB}] = cellMetrics{
+				ipc:    res.IPC,
+				edpJs:  res.Breakdown.EDPJs(),
+				result: res,
+			}
+		}
+	}
+	return cells, nil
+}
+
+// gridsFor computes the relative-IPC and relative-1/EDP grids for a
+// workload set, averaging per-benchmark normalized values (the paper's
+// per-app-normalize-then-average convention).
+func gridsFor(set string, o Options) (ipc, invEDP *GridData, err error) {
+	names := specGroup(set, o.Quick)
+	ipc = &GridData{Workload: set, Metric: "IPC", Rel: map[[2]int]float64{}}
+	invEDP = &GridData{Workload: set, Metric: "1/EDP", Rel: map[[2]int]float64{}}
+	for _, name := range names {
+		cells, cerr := runGridCells(name, o)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		base := cells[[2]int{1, 1}]
+		for k, c := range cells {
+			ipc.Rel[k] += c.ipc / base.ipc / float64(len(names))
+			invEDP.Rel[k] += base.edpJs / c.edpJs / float64(len(names))
+		}
+	}
+	return ipc, invEDP, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

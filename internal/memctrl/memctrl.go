@@ -1,0 +1,644 @@
+// Package memctrl implements the memory controller: a request queue
+// with FCFS / FR-FCFS / PAR-BS scheduling, DRAM command generation
+// against package dram's timing model, configurable address
+// interleaving (package addr), and the page-management policies of §V —
+// open, close, minimalist-open, local/global bimodal predictors, a
+// tournament predictor, and a perfect (oracle) policy.
+//
+// The perfect policy needs no lookahead: when a decision point leaves a
+// row open and the *next* request to that bank wants a different row,
+// the controller retroactively issues the precharge stamped at the
+// earliest instant it could have issued — exact oracle timing because
+// the bank was idle in between.
+package memctrl
+
+import (
+	"fmt"
+
+	"microbank/internal/addr"
+	"microbank/internal/config"
+	"microbank/internal/dram"
+	"microbank/internal/sim"
+)
+
+// Request is one cache-line memory transaction presented to a
+// controller.
+type Request struct {
+	Addr   uint64
+	Write  bool
+	Thread int // requesting hardware thread, for PAR-BS and the global predictor
+	// Done is invoked exactly once when the request is serviced: for
+	// reads when the line has arrived, for writes when the write has
+	// been accepted by the DRAM (posted).
+	Done func(at sim.Time)
+
+	arrive  sim.Time
+	loc     addr.Loc
+	bank    int // local bank index within the channel
+	marked  bool
+	ownMiss bool // an ACT/PRE was issued on this request's behalf
+	seq     uint64
+}
+
+// decision records a speculative open/close choice awaiting resolution.
+type decision struct {
+	pending       bool
+	predictedOpen bool
+	row           uint32
+	thread        int
+	at            sim.Time // decision instant (column access issue)
+	preReady      sim.Time // earliest legal PRE at decision time
+}
+
+type bankCtl struct {
+	wantClose bool // close decided; PRE is a schedulable candidate
+	dec       decision
+	minEvent  *sim.Event // pending minimalist-open timeout
+	lastUse   sim.Time
+}
+
+// Stats is a snapshot of one controller's activity.
+type Stats struct {
+	Reads, Writes            uint64
+	RowHits                  uint64 // column access without own ACT
+	RowOpens                 uint64 // requests that triggered ACT
+	RowConflictPres          uint64 // requests that had to close another row
+	Retired                  uint64
+	QueueOccIntegral         float64 // occupancy × ps
+	ReadLatencyIntegralPS    float64
+	PredDecisions, PredRight uint64
+	Energy                   dram.Energy
+}
+
+// RowHitRate returns serviced-from-open-row fraction.
+func (s Stats) RowHitRate() float64 {
+	tot := s.Reads + s.Writes
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(tot)
+}
+
+// AvgReadLatencyNS returns the mean read service latency in ns.
+func (s Stats) AvgReadLatencyNS() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.ReadLatencyIntegralPS / float64(s.Reads) / 1000.0
+}
+
+// PredictorHitRate returns the resolved page-decision accuracy.
+func (s Stats) PredictorHitRate() float64 {
+	if s.PredDecisions == 0 {
+		return 0
+	}
+	return float64(s.PredRight) / float64(s.PredDecisions)
+}
+
+// Controller schedules requests for one memory channel.
+type Controller struct {
+	eng    *sim.Engine
+	ch     *dram.Channel
+	mapper *addr.Mapper
+	cfg    config.Ctrl
+
+	queue []*Request // arrival order; scheduling window = cfg.QueueDepth
+	banks []bankCtl
+	// closePending lists banks with a policy-decided precharge
+	// outstanding (wantClose set), compacted lazily during eval.
+	closePending []int
+	pred         *pagePredictor
+
+	// PAR-BS batch state.
+	batchLive int // marked requests still queued
+
+	seq           uint64
+	evalScheduled bool
+	wake          *sim.Event
+
+	stats        Stats
+	lastOccCheck sim.Time
+}
+
+// New builds a controller over a fresh DRAM channel. threads sizes the
+// global predictor table.
+func New(eng *sim.Engine, mem config.Mem, ctl config.Ctrl, threads int) *Controller {
+	if threads <= 0 {
+		threads = 1
+	}
+	// Clamp the interleave base bit to the μbank row size: iB beyond
+	// the row is "page interleaving" whatever the row size (this is why
+	// Fig. 12's iB axis tops out at 12/11/10 for the partitioned
+	// configurations).
+	if maxIB := ctlMaxIB(mem.Org); ctl.InterleaveBit > maxIB {
+		ctl.InterleaveBit = maxIB
+	}
+	mapper, err := addr.NewMapperHashed(mem.Org, ctl.InterleaveBit, ctl.XORBankHash)
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: %v", err))
+	}
+	ch := dram.NewChannel(mem)
+	c := &Controller{
+		eng:    eng,
+		ch:     ch,
+		mapper: mapper,
+		cfg:    ctl,
+		banks:  make([]bankCtl, ch.NumBanks()),
+		pred:   newPagePredictor(ch.NumBanks(), threads),
+	}
+	return c
+}
+
+// Mapper exposes the controller's address mapper.
+func (c *Controller) Mapper() *addr.Mapper { return c.mapper }
+
+// Channel exposes the underlying DRAM channel (read-only use).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// QueueLen returns the number of queued (unserviced) requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Stats returns a snapshot including DRAM energy so far.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Energy = c.ch.Energy()
+	s.PredDecisions = c.pred.Decisions
+	s.PredRight = c.pred.Correct
+	return s
+}
+
+// Enqueue accepts a request at the current simulation time. The
+// request queue is modeled as unbounded with a scheduling window of
+// cfg.QueueDepth entries (occupancy statistics reflect true occupancy);
+// callers bound outstanding requests through cache MSHRs.
+func (c *Controller) Enqueue(r *Request) {
+	now := c.eng.Now()
+	c.accountOcc(now)
+	r.arrive = now
+	r.loc = c.mapper.Map(r.Addr)
+	r.bank = c.mapper.LocalBank(r.loc)
+	r.seq = c.seq
+	c.seq++
+	c.resolveDecision(r.bank, r.loc.Row, now)
+	c.queue = append(c.queue, r)
+	c.ch.CountRowOutcome(r.bank, r.loc.Row)
+	c.kick()
+}
+
+// resolveDecision trains the predictor when a bank with a pending
+// speculative decision sees its next request, and applies retroactive
+// precharge semantics for the perfect policy.
+func (c *Controller) resolveDecision(bank int, row uint32, now sim.Time) {
+	b := &c.banks[bank]
+	if !b.dec.pending {
+		return
+	}
+	openWasRight := row == b.dec.row
+	if c.cfg.PagePolicy == config.PredPerfect {
+		// The oracle "predicted" whatever turned out right.
+		c.pred.train(bank, b.dec.thread, openWasRight, openWasRight)
+		// It would have closed the row iff the next access misses.
+		// Retroactively issue the precharge at the earliest legal
+		// instant; the bank has been idle since the decision.
+		if open, cur := c.ch.Open(bank); open && cur == b.dec.row && !openWasRight {
+			c.ch.IssuePRE(bank, b.dec.preReady)
+		}
+		b.dec.pending = false
+		return
+	}
+	c.pred.train(bank, b.dec.thread, b.dec.predictedOpen, openWasRight)
+	if !b.dec.predictedOpen && !openWasRight {
+		// A close prediction that proved right: ensure the close
+		// actually happens even if no conflicting request forces it.
+		c.markClose(bank)
+	}
+	b.dec.pending = false
+}
+
+func (c *Controller) accountOcc(now sim.Time) {
+	dt := float64(now - c.lastOccCheck)
+	c.stats.QueueOccIntegral += dt * float64(len(c.queue))
+	c.lastOccCheck = now
+}
+
+// kick schedules an evaluation pass at the current instant (priority 2,
+// after same-instant arrivals).
+func (c *Controller) kick() {
+	if c.evalScheduled {
+		return
+	}
+	c.evalScheduled = true
+	c.eng.ScheduleP(c.eng.Now(), 2, func(e *sim.Engine) {
+		c.evalScheduled = false
+		c.eval(e.Now())
+	})
+}
+
+// window returns the scheduling window (oldest QueueDepth requests).
+func (c *Controller) window() []*Request {
+	if len(c.queue) <= c.cfg.QueueDepth {
+		return c.queue
+	}
+	return c.queue[:c.cfg.QueueDepth]
+}
+
+// candidate describes the next command needed by one bank.
+type candidate struct {
+	req      *Request // nil for policy-driven precharges
+	bank     int
+	cmd      dram.Cmd
+	earliest sim.Time
+	rowHit   bool
+	marked   bool
+	rank     int // PAR-BS thread rank (lower = higher priority)
+}
+
+// eval issues every command that can issue now, then schedules a wakeup
+// at the earliest future candidate.
+func (c *Controller) eval(now sim.Time) {
+	if c.wake != nil {
+		c.eng.Cancel(c.wake)
+		c.wake = nil
+	}
+	for {
+		// Catch up any overdue refreshes (cheap no-op when none due).
+		for c.ch.MaybeRefresh(now) {
+		}
+		if c.cfg.Scheduler == config.SchedPARBS {
+			c.formBatch()
+		}
+		cand, ok := c.best(now)
+		if !ok {
+			break
+		}
+		if cand.earliest > now {
+			c.scheduleWake(cand.earliest)
+			break
+		}
+		c.issue(cand, now)
+	}
+	// A due-but-blocked refresh only needs polling while work is
+	// pending; when idle it is caught up lazily at the next enqueue.
+	if len(c.queue) > 0 && c.ch.RefreshDue(now) {
+		c.scheduleWake(now + sim.Nanosecond)
+	}
+}
+
+func (c *Controller) scheduleWake(at sim.Time) {
+	if at <= c.eng.Now() {
+		at = c.eng.Now() + 1
+	}
+	if c.wake != nil && c.wake.When() <= at && !c.wake.Cancelled() {
+		return
+	}
+	if c.wake != nil {
+		c.eng.Cancel(c.wake)
+	}
+	c.wake = c.eng.ScheduleP(at, 2, func(e *sim.Engine) {
+		c.wake = nil
+		c.eval(e.Now())
+	})
+}
+
+// formBatch marks a new PAR-BS batch when the previous one drained:
+// the oldest BatchCap requests per (thread, bank) are marked.
+func (c *Controller) formBatch() {
+	if c.batchLive > 0 {
+		return
+	}
+	type tb struct{ thread, bank int }
+	counts := map[tb]int{}
+	for _, r := range c.window() {
+		k := tb{r.Thread, r.bank}
+		if counts[k] < c.cfg.BatchCap {
+			counts[k]++
+			r.marked = true
+			c.batchLive++
+		}
+	}
+}
+
+// threadLoad returns, per thread, the number of marked queued requests
+// (PAR-BS "shortest job first" ranking input).
+func (c *Controller) threadLoad() map[int]int {
+	load := map[int]int{}
+	for _, r := range c.window() {
+		if r.marked {
+			load[r.Thread]++
+		}
+	}
+	return load
+}
+
+// best selects the highest-priority issuable candidate.
+func (c *Controller) best(now sim.Time) (candidate, bool) {
+	win := c.window()
+	var load map[int]int
+	if c.cfg.Scheduler == config.SchedPARBS {
+		load = c.threadLoad()
+	}
+	// Highest-priority request per bank decides that bank's command.
+	perBank := map[int]*Request{}
+	order := func(a, b *Request) bool { // true if a beats b
+		switch c.cfg.Scheduler {
+		case config.SchedFCFS:
+			return a.seq < b.seq
+		case config.SchedPARBS:
+			if a.marked != b.marked {
+				return a.marked
+			}
+			ah, bh := c.isRowHit(a), c.isRowHit(b)
+			if ah != bh {
+				return ah
+			}
+			if a.marked && b.marked && load[a.Thread] != load[b.Thread] {
+				return load[a.Thread] < load[b.Thread]
+			}
+			return a.seq < b.seq
+		default: // FR-FCFS
+			ah, bh := c.isRowHit(a), c.isRowHit(b)
+			if ah != bh {
+				return ah
+			}
+			return a.seq < b.seq
+		}
+	}
+	for _, r := range win {
+		if cur, ok := perBank[r.bank]; !ok || order(r, cur) {
+			perBank[r.bank] = r
+		}
+	}
+	var bestC candidate
+	found := false
+	consider := func(cd candidate) {
+		if !found {
+			bestC, found = cd, true
+			return
+		}
+		// Prefer issuable-now; then scheduler priority; then earliest.
+		cdNow, bestNow := cd.earliest <= now, bestC.earliest <= now
+		if cdNow != bestNow {
+			if cdNow {
+				bestC = cd
+			}
+			return
+		}
+		if cdNow {
+			if cd.marked != bestC.marked {
+				if cd.marked {
+					bestC = cd
+				}
+				return
+			}
+			if cd.rowHit != bestC.rowHit {
+				if cd.rowHit {
+					bestC = cd
+				}
+				return
+			}
+			if cd.req != nil && bestC.req != nil && cd.req.seq < bestC.req.seq {
+				bestC = cd
+			}
+			return
+		}
+		if cd.earliest < bestC.earliest {
+			bestC = cd
+		}
+	}
+	// Iterate in window order (not map order) for determinism.
+	seen := map[int]bool{}
+	for _, r := range win {
+		if seen[r.bank] {
+			continue
+		}
+		seen[r.bank] = true
+		cd := c.commandFor(r.bank, perBank[r.bank], now)
+		consider(cd)
+	}
+	// Policy-driven precharges for banks without queued requests,
+	// compacting stale entries as we go.
+	kept := c.closePending[:0]
+	for _, bank := range c.closePending {
+		b := &c.banks[bank]
+		if !b.wantClose {
+			continue
+		}
+		if open, _ := c.ch.Open(bank); !open {
+			b.wantClose = false
+			continue
+		}
+		kept = append(kept, bank)
+		if _, has := perBank[bank]; has {
+			continue
+		}
+		consider(candidate{bank: bank, cmd: dram.CmdPRE, earliest: c.ch.EarliestPRE(bank, now)})
+	}
+	c.closePending = kept
+	return bestC, found
+}
+
+func (c *Controller) isRowHit(r *Request) bool {
+	open, row := c.ch.Open(r.bank)
+	return open && row == r.loc.Row
+}
+
+// commandFor computes the next command the bank needs to serve r.
+func (c *Controller) commandFor(bank int, r *Request, now sim.Time) candidate {
+	open, row := c.ch.Open(bank)
+	cd := candidate{req: r, bank: bank, marked: r.marked}
+	switch {
+	case open && row == r.loc.Row:
+		cd.cmd = dram.CmdRD
+		if r.Write {
+			cd.cmd = dram.CmdWR
+		}
+		cd.rowHit = true
+		cd.earliest = c.ch.EarliestCol(bank, r.Write, now)
+	case open:
+		cd.cmd = dram.CmdPRE
+		cd.earliest = c.ch.EarliestPRE(bank, now)
+	default:
+		cd.cmd = dram.CmdACT
+		cd.earliest = c.ch.EarliestACT(bank, now)
+	}
+	return cd
+}
+
+// issue applies one candidate command at time now.
+func (c *Controller) issue(cd candidate, now sim.Time) {
+	b := &c.banks[cd.bank]
+	switch cd.cmd {
+	case dram.CmdACT:
+		c.ch.IssueACT(cd.bank, cd.req.loc.Row, now)
+		c.stats.RowOpens++
+		cd.req.ownMiss = true
+		b.wantClose = false
+		c.cancelMinimalist(cd.bank)
+	case dram.CmdPRE:
+		c.ch.IssuePRE(cd.bank, now)
+		b.wantClose = false
+		c.cancelMinimalist(cd.bank)
+		if cd.req != nil {
+			c.stats.RowConflictPres++
+			cd.req.ownMiss = true
+		}
+	case dram.CmdRD, dram.CmdWR:
+		c.serviceColumn(cd, now)
+	}
+}
+
+// serviceColumn issues the column access for cd.req, retires it, and
+// runs the page-management decision.
+func (c *Controller) serviceColumn(cd candidate, now sim.Time) {
+	r := cd.req
+	b := &c.banks[cd.bank]
+	// Defensive: a pending speculative decision on this bank is
+	// resolved by this very access (normally impossible after the
+	// whole-queue scan in pageDecision, but kept as a safety net).
+	if b.dec.pending {
+		c.resolveDecision(cd.bank, r.loc.Row, now)
+	}
+	var doneAt sim.Time
+	if r.Write {
+		doneAt = c.ch.IssueWR(cd.bank, now)
+		c.stats.Writes++
+	} else {
+		doneAt = c.ch.IssueRD(cd.bank, now)
+		c.stats.Reads++
+		c.stats.ReadLatencyIntegralPS += float64(doneAt - r.arrive)
+	}
+	if !r.ownMiss {
+		c.stats.RowHits++
+	}
+	c.removeRequest(r)
+	c.stats.Retired++
+	if r.marked {
+		c.batchLive--
+		r.marked = false
+	}
+	b.lastUse = now
+	if r.Done != nil {
+		done := r.Done
+		c.eng.Schedule(doneAt, func(*sim.Engine) { done(doneAt) })
+	}
+	c.pageDecision(cd.bank, r, now)
+}
+
+// removeRequest deletes r from the queue, preserving order.
+func (c *Controller) removeRequest(r *Request) {
+	c.accountOcc(c.eng.Now())
+	for i, q := range c.queue {
+		if q == r {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+	panic("memctrl: retiring request not in queue")
+}
+
+// pageDecision decides, after a column access to bank, whether to keep
+// the row open. With pending same-bank work the queue dictates the
+// choice (§V); otherwise the configured policy predicts.
+func (c *Controller) pageDecision(bank int, r *Request, now sim.Time) {
+	b := &c.banks[bank]
+	_, row := c.ch.Open(bank)
+	// Queue knowledge first: any same-bank request pending? Scan the
+	// WHOLE queue, not just the scheduling window — a same-bank request
+	// beyond the window would otherwise be serviced while a speculative
+	// decision is pending, invalidating its recorded precharge point.
+	var sameBank, sameRow bool
+	for _, q := range c.queue {
+		if q.bank == bank {
+			sameBank = true
+			if q.loc.Row == row {
+				sameRow = true
+				break
+			}
+		}
+	}
+	if sameRow {
+		return // keep open: a queued hit will use it
+	}
+	if sameBank {
+		// Queued conflict: close as soon as legal (the conflicting
+		// request's own PRE candidate handles it; mark intent anyway).
+		c.markClose(bank)
+		return
+	}
+	// Speculative decision territory.
+	var predictOpen bool
+	switch c.cfg.PagePolicy {
+	case config.OpenPage:
+		predictOpen = true
+	case config.ClosePage:
+		predictOpen = false
+	case config.MinimalistOpen:
+		// Keep open for ~tRC, then close. Model as open prediction with
+		// a timed close.
+		predictOpen = true
+		c.armMinimalist(bank, now)
+	case config.PredLocal:
+		predictOpen = c.pred.local[bank].predictOpen()
+	case config.PredGlobal:
+		predictOpen = c.pred.global[r.Thread].predictOpen()
+	case config.PredTournament:
+		predictOpen = c.pred.predictTournament(bank, r.Thread)
+	case config.PredPerfect:
+		// Defer: resolveDecision applies the oracle retroactively.
+		predictOpen = true
+	}
+	b.dec = decision{
+		pending:       true,
+		predictedOpen: predictOpen,
+		row:           row,
+		thread:        r.Thread,
+		at:            now,
+		preReady:      c.ch.EarliestPRE(bank, now),
+	}
+	if !predictOpen && c.cfg.PagePolicy != config.PredPerfect {
+		c.markClose(bank)
+	}
+}
+
+func (c *Controller) armMinimalist(bank int, now sim.Time) {
+	c.cancelMinimalist(bank)
+	b := &c.banks[bank]
+	trc := c.ch.Config().Timing.TRC()
+	b.minEvent = c.eng.Schedule(now+trc, func(e *sim.Engine) {
+		b.minEvent = nil
+		if open, _ := c.ch.Open(bank); open && b.lastUse <= e.Now()-trc {
+			c.markClose(bank)
+			c.kick()
+		}
+	})
+}
+
+// markClose flags a bank for a policy-driven precharge.
+func (c *Controller) markClose(bank int) {
+	b := &c.banks[bank]
+	if !b.wantClose {
+		b.wantClose = true
+		c.closePending = append(c.closePending, bank)
+	}
+}
+
+func (c *Controller) cancelMinimalist(bank int) {
+	b := &c.banks[bank]
+	if b.minEvent != nil {
+		c.eng.Cancel(b.minEvent)
+		b.minEvent = nil
+	}
+}
+
+// Drained reports whether no requests remain queued.
+func (c *Controller) Drained() bool { return len(c.queue) == 0 }
+
+// ctlMaxIB returns the largest legal interleave base bit: the byte
+// width of one μbank row.
+func ctlMaxIB(o config.Org) int {
+	b := 0
+	for v := o.MicroRowBytes(); v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,489 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+)
+
+const ns = sim.Nanosecond
+
+func testMem(nW, nB int) config.Mem {
+	m := config.MemPreset(config.LPDDRTSI, nW, nB)
+	m.Org.Channels = 1
+	m.Timing.TREFI = 0
+	m.Timing.TRFC = 0
+	return m
+}
+
+func testCtl(policy config.PagePolicy) config.Ctrl {
+	c := config.DefaultCtrl()
+	c.PagePolicy = policy
+	return c
+}
+
+// run builds a controller, runs fn to enqueue work, then drains.
+func run(t *testing.T, mem config.Mem, ctl config.Ctrl, fn func(*sim.Engine, *Controller)) *Controller {
+	t.Helper()
+	eng := sim.NewEngine()
+	c := New(eng, mem, ctl, 64)
+	fn(eng, c)
+	eng.Run()
+	if !c.Drained() {
+		t.Fatalf("controller did not drain: %d left", c.QueueLen())
+	}
+	return c
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	mem := testMem(1, 1)
+	var doneAt sim.Time
+	run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, c *Controller) {
+		eng.Schedule(0, func(*sim.Engine) {
+			c.Enqueue(&Request{Addr: 0, Done: func(at sim.Time) { doneAt = at }})
+		})
+	})
+	// Closed bank: ACT at 0, RD at tRCD, data at tRCD+tAA+tBL = 30 ns.
+	want := mem.Timing.TRCD + mem.Timing.TAA + mem.Timing.TBL
+	if doneAt != want {
+		t.Fatalf("read done at %d, want %d", doneAt, want)
+	}
+}
+
+func TestRowHitLatency(t *testing.T) {
+	mem := testMem(1, 1)
+	var first, second sim.Time
+	run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, c *Controller) {
+		eng.Schedule(0, func(*sim.Engine) {
+			c.Enqueue(&Request{Addr: 0, Done: func(at sim.Time) { first = at }})
+		})
+		// Arrives long after the first completed; row still open.
+		eng.Schedule(100*ns, func(*sim.Engine) {
+			c.Enqueue(&Request{Addr: 64, Done: func(at sim.Time) { second = at }})
+		})
+	})
+	if first != 30*ns {
+		t.Fatalf("first done at %d", first)
+	}
+	// Row hit: RD at 100ns, data at +tAA+tBL = 16 ns later.
+	want := 100*ns + mem.Timing.TAA + mem.Timing.TBL
+	if second != want {
+		t.Fatalf("row hit done at %d, want %d", second, want)
+	}
+	st := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, c *Controller) {
+		eng.Schedule(0, func(*sim.Engine) { c.Enqueue(&Request{Addr: 0}) })
+		eng.Schedule(100*ns, func(*sim.Engine) { c.Enqueue(&Request{Addr: 64}) })
+	}).Stats()
+	if st.RowHits != 1 || st.Reads != 2 {
+		t.Fatalf("stats = %+v, want 1 hit of 2 reads", st)
+	}
+}
+
+// rowAddr returns an address mapping to (bank row col) on channel 0 by
+// construction through the mapper.
+func rowAddr(c *Controller, bankLocal int, row uint32, col uint32) uint64 {
+	m := c.Mapper()
+	org := m.Org()
+	per := org.NW * org.NB
+	loc := c.mapper.Map(0)
+	loc.Rank = bankLocal / (org.BanksPerRank * per)
+	rem := bankLocal % (org.BanksPerRank * per)
+	loc.Bank = rem / per
+	loc.Micro = rem % per
+	loc.Row = row
+	loc.Col = col
+	loc.Channel = 0
+	return m.Unmap(loc)
+}
+
+func TestClosePolicyClosesIdleRow(t *testing.T) {
+	mem := testMem(1, 1)
+	c := run(t, mem, testCtl(config.ClosePage), func(eng *sim.Engine, ctl *Controller) {
+		eng.Schedule(0, func(*sim.Engine) { ctl.Enqueue(&Request{Addr: 0}) })
+	})
+	if open, _ := c.Channel().Open(0); open {
+		t.Fatal("close-page left the row open")
+	}
+	// Open policy leaves it open.
+	c2 := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, ctl *Controller) {
+		eng.Schedule(0, func(*sim.Engine) { ctl.Enqueue(&Request{Addr: 0}) })
+	})
+	if open, _ := c2.Channel().Open(0); !open {
+		t.Fatal("open-page closed the row")
+	}
+}
+
+func TestCloseBeatsOpenOnConflicts(t *testing.T) {
+	// Alternating rows to one bank, spaced out so each decision is
+	// speculative: close-page should finish each access sooner.
+	mem := testMem(1, 1)
+	gap := 200 * ns
+	lat := func(policy config.PagePolicy) (total sim.Time) {
+		run(t, mem, testCtl(policy), func(eng *sim.Engine, c *Controller) {
+			for i := 0; i < 10; i++ {
+				i := i
+				at := sim.Time(i) * gap
+				eng.Schedule(at, func(*sim.Engine) {
+					c.Enqueue(&Request{
+						Addr: rowAddr(c, 0, uint32(i%2)*7, 0),
+						Done: func(d sim.Time) { total += d - at },
+					})
+				})
+			}
+		})
+		return total
+	}
+	open, closed := lat(config.OpenPage), lat(config.ClosePage)
+	if closed >= open {
+		t.Fatalf("close-page (%d) not faster than open-page (%d) on conflict stream", closed, open)
+	}
+}
+
+func TestOpenBeatsCloseOnHits(t *testing.T) {
+	mem := testMem(1, 1)
+	gap := 200 * ns
+	lat := func(policy config.PagePolicy) (total sim.Time) {
+		run(t, mem, testCtl(policy), func(eng *sim.Engine, c *Controller) {
+			for i := 0; i < 10; i++ {
+				at := sim.Time(i) * gap
+				col := uint32(i % 8)
+				eng.Schedule(at, func(*sim.Engine) {
+					c.Enqueue(&Request{
+						Addr: rowAddr(c, 0, 3, col),
+						Done: func(d sim.Time) { total += d - at },
+					})
+				})
+			}
+		})
+		return total
+	}
+	open, closed := lat(config.OpenPage), lat(config.ClosePage)
+	if open >= closed {
+		t.Fatalf("open-page (%d) not faster than close-page (%d) on hit stream", open, closed)
+	}
+}
+
+func TestPerfectPolicyMatchesBestStatic(t *testing.T) {
+	mem := testMem(1, 1)
+	gap := 200 * ns
+	seqLat := func(policy config.PagePolicy, rows []uint32) (total sim.Time) {
+		run(t, mem, testCtl(policy), func(eng *sim.Engine, c *Controller) {
+			for i, row := range rows {
+				row := row
+				at := sim.Time(i) * gap
+				eng.Schedule(at, func(*sim.Engine) {
+					c.Enqueue(&Request{
+						Addr: rowAddr(c, 0, row, 0),
+						Done: func(d sim.Time) { total += d - at },
+					})
+				})
+			}
+		})
+		return total
+	}
+	hitStream := []uint32{1, 1, 1, 1, 1, 1, 1, 1}
+	confStream := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	// On a pure hit stream the oracle equals open-page.
+	if p, o := seqLat(config.PredPerfect, hitStream), seqLat(config.OpenPage, hitStream); p != o {
+		t.Fatalf("perfect %d != open %d on hit stream", p, o)
+	}
+	// On a pure conflict stream the oracle equals close-page.
+	if p, cl := seqLat(config.PredPerfect, confStream), seqLat(config.ClosePage, confStream); p != cl {
+		t.Fatalf("perfect %d != close %d on conflict stream", p, cl)
+	}
+	// And the oracle is never worse than either static policy on a mix.
+	mix := []uint32{1, 1, 2, 2, 3, 1, 1, 4, 4, 1}
+	p := seqLat(config.PredPerfect, mix)
+	if o := seqLat(config.OpenPage, mix); p > o {
+		t.Fatalf("perfect %d worse than open %d", p, o)
+	}
+	if cl := seqLat(config.ClosePage, mix); p > cl {
+		t.Fatalf("perfect %d worse than close %d", p, cl)
+	}
+}
+
+func TestPerfectPredictorHitRateIsOne(t *testing.T) {
+	mem := testMem(1, 1)
+	c := run(t, mem, testCtl(config.PredPerfect), func(eng *sim.Engine, ctl *Controller) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 50; i++ {
+			row := uint32(rng.Intn(4))
+			at := sim.Time(i) * 200 * ns
+			eng.Schedule(at, func(*sim.Engine) {
+				ctl.Enqueue(&Request{Addr: rowAddr(ctl, 0, row, 0)})
+			})
+		}
+	})
+	st := c.Stats()
+	if st.PredDecisions == 0 {
+		t.Fatal("no decisions resolved")
+	}
+	if st.PredictorHitRate() != 1.0 {
+		t.Fatalf("oracle hit rate = %v, want 1", st.PredictorHitRate())
+	}
+}
+
+func TestLocalPredictorLearnsConflictStream(t *testing.T) {
+	mem := testMem(1, 1)
+	c := run(t, mem, testCtl(config.PredLocal), func(eng *sim.Engine, ctl *Controller) {
+		for i := 0; i < 40; i++ {
+			i := i
+			at := sim.Time(i) * 200 * ns
+			eng.Schedule(at, func(*sim.Engine) {
+				ctl.Enqueue(&Request{Addr: rowAddr(ctl, 0, uint32(i), 0)})
+			})
+		}
+	})
+	st := c.Stats()
+	// After warm-up the local predictor should predict close and be
+	// mostly right on an all-conflict stream.
+	if st.PredictorHitRate() < 0.9 {
+		t.Fatalf("local predictor hit rate = %v on conflict stream, want > 0.9", st.PredictorHitRate())
+	}
+}
+
+func TestGlobalAndTournamentRun(t *testing.T) {
+	mem := testMem(2, 2)
+	for _, pol := range []config.PagePolicy{config.PredGlobal, config.PredTournament, config.MinimalistOpen} {
+		c := run(t, mem, testCtl(pol), func(eng *sim.Engine, ctl *Controller) {
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 60; i++ {
+				at := sim.Time(i) * 150 * ns
+				addrv := rowAddr(ctl, rng.Intn(8), uint32(rng.Intn(4)), uint32(rng.Intn(4)))
+				thr := rng.Intn(4)
+				eng.Schedule(at, func(*sim.Engine) {
+					ctl.Enqueue(&Request{Addr: addrv, Thread: thr})
+				})
+			}
+		})
+		st := c.Stats()
+		if st.Reads != 60 {
+			t.Fatalf("%v: reads = %d, want 60", pol, st.Reads)
+		}
+	}
+}
+
+func TestTournamentTracksBestComponent(t *testing.T) {
+	// Hit-heavy stream: tournament should converge to ~open behavior.
+	mem := testMem(1, 1)
+	hr := func(policy config.PagePolicy) float64 {
+		c := run(t, mem, testCtl(policy), func(eng *sim.Engine, ctl *Controller) {
+			for i := 0; i < 60; i++ {
+				i := i
+				at := sim.Time(i) * 200 * ns
+				row := uint32(0)
+				if i%8 == 7 {
+					row = uint32(i)
+				}
+				eng.Schedule(at, func(*sim.Engine) {
+					ctl.Enqueue(&Request{Addr: rowAddr(ctl, 0, row, uint32(i%4))})
+				})
+			}
+		})
+		return c.Stats().PredictorHitRate()
+	}
+	tour, closeHR := hr(config.PredTournament), hr(config.ClosePage)
+	if tour <= closeHR {
+		t.Fatalf("tournament hit rate %v not above close %v on hit-heavy stream", tour, closeHR)
+	}
+}
+
+func TestMinimalistClosesAfterInterval(t *testing.T) {
+	mem := testMem(1, 1)
+	eng := sim.NewEngine()
+	c := New(eng, mem, testCtl(config.MinimalistOpen), 4)
+	eng.Schedule(0, func(*sim.Engine) { c.Enqueue(&Request{Addr: 0}) })
+	eng.Run()
+	if open, _ := c.Channel().Open(0); open {
+		t.Fatal("minimalist-open never closed the idle row")
+	}
+}
+
+func TestWritePosted(t *testing.T) {
+	mem := testMem(1, 1)
+	var doneAt sim.Time
+	c := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, ctl *Controller) {
+		eng.Schedule(0, func(*sim.Engine) {
+			ctl.Enqueue(&Request{Addr: 0, Write: true, Done: func(at sim.Time) { doneAt = at }})
+		})
+	})
+	if doneAt == 0 {
+		t.Fatal("write never completed")
+	}
+	if st := c.Stats(); st.Writes != 1 || st.Reads != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFRFCFSReordersRowHits(t *testing.T) {
+	// Enqueue conflict then hit at the same instant: FR-FCFS services
+	// the hit first; FCFS services in order.
+	mem := testMem(1, 1)
+	order := func(sched config.Scheduler) (first string) {
+		ctl := testCtl(config.OpenPage)
+		ctl.Scheduler = sched
+		run(t, mem, ctl, func(eng *sim.Engine, c *Controller) {
+			eng.Schedule(0, func(*sim.Engine) { c.Enqueue(&Request{Addr: rowAddr(c, 0, 1, 0)}) })
+			// After row 1 is open, enqueue conflict (row 2) then hit (row 1).
+			eng.Schedule(50*ns, func(*sim.Engine) {
+				c.Enqueue(&Request{Addr: rowAddr(c, 0, 2, 0), Done: func(sim.Time) {
+					if first == "" {
+						first = "conflict"
+					}
+				}})
+				c.Enqueue(&Request{Addr: rowAddr(c, 0, 1, 1), Done: func(sim.Time) {
+					if first == "" {
+						first = "hit"
+					}
+				}})
+			})
+		})
+		return first
+	}
+	if got := order(config.SchedFRFCFS); got != "hit" {
+		t.Fatalf("FR-FCFS serviced %q first, want hit", got)
+	}
+	if got := order(config.SchedFCFS); got != "conflict" {
+		t.Fatalf("FCFS serviced %q first, want conflict (arrival order)", got)
+	}
+}
+
+func TestPARBSBoundsInterference(t *testing.T) {
+	// Thread 0 floods one bank with hits; thread 1 has one conflict
+	// request. PAR-BS's batch cap must let thread 1 through sooner than
+	// plain FR-FCFS.
+	mem := testMem(1, 1)
+	victim := func(sched config.Scheduler) (done sim.Time) {
+		ctl := testCtl(config.OpenPage)
+		ctl.Scheduler = sched
+		run(t, mem, ctl, func(eng *sim.Engine, c *Controller) {
+			eng.Schedule(0, func(*sim.Engine) {
+				for i := 0; i < 24; i++ {
+					c.Enqueue(&Request{Addr: rowAddr(c, 0, 1, uint32(i)), Thread: 0})
+				}
+				c.Enqueue(&Request{Addr: rowAddr(c, 0, 9, 0), Thread: 1,
+					Done: func(at sim.Time) { done = at }})
+			})
+		})
+		return done
+	}
+	frfcfs := victim(config.SchedFRFCFS)
+	parbs := victim(config.SchedPARBS)
+	if parbs >= frfcfs {
+		t.Fatalf("PAR-BS victim latency %d not below FR-FCFS %d", parbs, frfcfs)
+	}
+}
+
+func TestRefreshProgress(t *testing.T) {
+	mem := config.MemPreset(config.LPDDRTSI, 1, 1) // refresh enabled
+	mem.Org.Channels = 1
+	count := 0
+	c := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, ctl *Controller) {
+		// Sparse requests spanning several tREFI periods.
+		for i := 0; i < 5; i++ {
+			at := sim.Time(i) * 4 * mem.Timing.TREFI
+			eng.Schedule(at, func(*sim.Engine) {
+				ctl.Enqueue(&Request{Addr: 0, Done: func(sim.Time) { count++ }})
+			})
+		}
+	})
+	if count != 5 {
+		t.Fatalf("completed %d of 5 requests with refresh enabled", count)
+	}
+	if c.Channel().Energy().Refreshes == 0 {
+		t.Fatal("no refreshes performed")
+	}
+}
+
+func TestQueueOccupancyAccounting(t *testing.T) {
+	mem := testMem(1, 1)
+	c := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, ctl *Controller) {
+		eng.Schedule(0, func(*sim.Engine) {
+			for i := 0; i < 8; i++ {
+				ctl.Enqueue(&Request{Addr: uint64(i) * 64})
+			}
+		})
+	})
+	if c.Stats().QueueOccIntegral <= 0 {
+		t.Fatal("queue occupancy integral not accumulated")
+	}
+}
+
+// Property: any random request set completes exactly once per request,
+// for every policy and scheduler combination.
+func TestAllPoliciesDrainProperty(t *testing.T) {
+	policies := []config.PagePolicy{
+		config.OpenPage, config.ClosePage, config.MinimalistOpen,
+		config.PredLocal, config.PredGlobal, config.PredTournament, config.PredPerfect,
+	}
+	scheds := []config.Scheduler{config.SchedFCFS, config.SchedFRFCFS, config.SchedPARBS}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pol := policies[rng.Intn(len(policies))]
+		sch := scheds[rng.Intn(len(scheds))]
+		mem := testMem(2, 2)
+		ctl := testCtl(pol)
+		ctl.Scheduler = sch
+		eng := sim.NewEngine()
+		c := New(eng, mem, ctl, 8)
+		n := 100
+		completions := 0
+		for i := 0; i < n; i++ {
+			at := sim.Time(rng.Intn(2000)) * ns
+			addrv := (rng.Uint64() % (1 << 26)) &^ 63
+			wr := rng.Intn(4) == 0
+			thr := rng.Intn(8)
+			eng.Schedule(at, func(*sim.Engine) {
+				c.Enqueue(&Request{Addr: addrv, Write: wr, Thread: thr,
+					Done: func(sim.Time) { completions++ }})
+			})
+		}
+		eng.Run()
+		return completions == n && c.Drained()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	var s Stats
+	if s.RowHitRate() != 0 || s.AvgReadLatencyNS() != 0 || s.PredictorHitRate() != 0 {
+		t.Fatal("zero stats not zero")
+	}
+	s.Reads, s.RowHits, s.ReadLatencyIntegralPS = 4, 2, 120000
+	s.PredDecisions, s.PredRight = 10, 7
+	if s.RowHitRate() != 0.5 {
+		t.Fatal("RowHitRate")
+	}
+	if s.AvgReadLatencyNS() != 30 {
+		t.Fatal("AvgReadLatencyNS")
+	}
+	if s.PredictorHitRate() != 0.7 {
+		t.Fatal("PredictorHitRate")
+	}
+}
+
+func TestPerBankRefreshProgress(t *testing.T) {
+	mem := config.MemPreset(config.LPDDRTSI, 2, 2)
+	mem.Org.Channels = 1
+	mem.Timing.PerBankRefresh = true
+	count := 0
+	c := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, ctl *Controller) {
+		for i := 0; i < 12; i++ {
+			at := sim.Time(i) * mem.Timing.TREFI / 2
+			eng.Schedule(at, func(*sim.Engine) {
+				ctl.Enqueue(&Request{Addr: uint64(i) * 64, Done: func(sim.Time) { count++ }})
+			})
+		}
+	})
+	if count != 12 {
+		t.Fatalf("completed %d of 12 with per-bank refresh", count)
+	}
+	if c.Channel().Energy().Refreshes == 0 {
+		t.Fatal("no per-bank refreshes performed")
+	}
+}

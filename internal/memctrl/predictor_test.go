@@ -1,0 +1,167 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBimodalStates(t *testing.T) {
+	b := stronglyOpen
+	if !b.predictOpen() {
+		t.Fatal("strongly-open should predict open")
+	}
+	b = b.update(false) // wrong once → weakly open
+	if b != weaklyOpen || !b.predictOpen() {
+		t.Fatalf("state = %d, want weakly open", b)
+	}
+	b = b.update(false)
+	if b != weaklyClose || b.predictOpen() {
+		t.Fatalf("state = %d, want weakly close", b)
+	}
+	b = b.update(false)
+	if b != stronglyClose {
+		t.Fatalf("state = %d, want strongly close", b)
+	}
+	// Saturation.
+	if b.update(false) != stronglyClose {
+		t.Fatal("strongly close did not saturate")
+	}
+	if stronglyOpen.update(true) != stronglyOpen {
+		t.Fatal("strongly open did not saturate")
+	}
+}
+
+// Property: after two consecutive identical outcomes the bimodal
+// predictor always predicts that outcome (classic 2-bit hysteresis).
+func TestBimodalConvergesProperty(t *testing.T) {
+	f := func(start uint8, outcome bool) bool {
+		b := bimodal(start % 4)
+		b = b.update(outcome).update(outcome)
+		return b.predictOpen() == outcome
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagePredictorLocalIndependence(t *testing.T) {
+	p := newPagePredictor(4, 2)
+	// Train bank 0 toward close, bank 1 toward open.
+	for i := 0; i < 4; i++ {
+		p.train(0, 0, true, false)
+		p.train(1, 1, true, true)
+	}
+	if p.local[0].predictOpen() {
+		t.Error("bank 0 should predict close")
+	}
+	if !p.local[1].predictOpen() {
+		t.Error("bank 1 should predict open")
+	}
+}
+
+func TestPagePredictorGlobalKeyedByThread(t *testing.T) {
+	p := newPagePredictor(2, 2)
+	for i := 0; i < 4; i++ {
+		p.train(0, 0, true, false) // thread 0 sees closes
+		p.train(1, 1, true, true)  // thread 1 sees opens
+	}
+	if p.global[0].predictOpen() {
+		t.Error("thread 0 global should predict close")
+	}
+	if !p.global[1].predictOpen() {
+		t.Error("thread 1 global should predict open")
+	}
+}
+
+func TestTournamentPicksBestComponent(t *testing.T) {
+	p := newPagePredictor(1, 1)
+	// Outcome stream where close is always right: the close component
+	// (and trained local) climb; open drops.
+	for i := 0; i < 20; i++ {
+		p.train(0, 0, p.predictTournament(0, 0), false)
+	}
+	if p.predictTournament(0, 0) {
+		t.Fatal("tournament still predicts open on all-close stream")
+	}
+	if p.chooser[0][compOpen] >= p.chooser[0][compClose] {
+		t.Fatalf("chooser scores open=%d close=%d", p.chooser[0][compOpen], p.chooser[0][compClose])
+	}
+}
+
+func TestTournamentAdaptsToPhaseChange(t *testing.T) {
+	p := newPagePredictor(1, 1)
+	for i := 0; i < 20; i++ {
+		p.train(0, 0, p.predictTournament(0, 0), false)
+	}
+	for i := 0; i < 20; i++ {
+		p.train(0, 0, p.predictTournament(0, 0), true)
+	}
+	if !p.predictTournament(0, 0) {
+		t.Fatal("tournament failed to flip back to open after phase change")
+	}
+}
+
+func TestHitRateAccounting(t *testing.T) {
+	p := newPagePredictor(1, 1)
+	if p.HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
+	p.train(0, 0, true, true)
+	p.train(0, 0, true, false)
+	if p.Decisions != 2 || p.Correct != 1 {
+		t.Fatalf("decisions/correct = %d/%d", p.Decisions, p.Correct)
+	}
+	if p.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", p.HitRate())
+	}
+}
+
+// Property: on a stationary random outcome stream with bias q, the
+// local predictor's accuracy is at least max(q, 1-q) - 12% — i.e. it
+// never does much worse than the better static policy.
+func TestLocalPredictorAccuracyProperty(t *testing.T) {
+	f := func(seed int64, biasRaw uint8) bool {
+		bias := 0.1 + 0.8*float64(biasRaw)/255.0
+		rng := rand.New(rand.NewSource(seed))
+		p := newPagePredictor(1, 1)
+		correct, n := 0, 600
+		for i := 0; i < n; i++ {
+			pred := p.local[0].predictOpen()
+			outcome := rng.Float64() < bias
+			if pred == outcome {
+				correct++
+			}
+			p.train(0, 0, pred, outcome)
+		}
+		acc := float64(correct) / float64(n)
+		static := bias
+		if 1-bias > static {
+			static = 1 - bias
+		}
+		return acc >= static-0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooserScoresSaturate(t *testing.T) {
+	p := newPagePredictor(1, 1)
+	for i := 0; i < 50; i++ {
+		p.train(0, 0, true, true)
+	}
+	for c := component(0); c < numComponents; c++ {
+		if p.chooser[0][c] > 7 {
+			t.Fatalf("chooser score %d overflowed: %d", c, p.chooser[0][c])
+		}
+	}
+	for i := 0; i < 100; i++ {
+		p.train(0, 0, true, i%2 == 0) // alternating: scores bounce but stay in range
+	}
+	for c := component(0); c < numComponents; c++ {
+		if p.chooser[0][c] > 7 {
+			t.Fatalf("score out of range after alternation")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microbank/internal/sim"
+)
+
+const ns = sim.Nanosecond
+
+func mesh(eng *sim.Engine) *Mesh { return New(eng, 4, 2*ns, 32) }
+
+func TestHopsManhattan(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 15, 6}, {5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestPathLengthMatchesHops(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			if got := len(m.Path(src, dst)); got != m.Hops(src, dst) {
+				t.Fatalf("path(%d,%d) has %d links, want %d", src, dst, got, m.Hops(src, dst))
+			}
+		}
+	}
+}
+
+func TestUncongestedLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	var at sim.Time
+	eng.Schedule(0, func(*sim.Engine) {
+		m.Send(0, 15, 64, func(a sim.Time) { at = a })
+	})
+	eng.Run()
+	if want := 6 * 2 * ns; at != want {
+		t.Fatalf("delivery at %d, want %d", at, want)
+	}
+	// Local delivery pays one hop.
+	var local sim.Time
+	eng.Schedule(eng.Now(), func(*sim.Engine) {
+		m.Send(3, 3, 64, func(a sim.Time) { local = a })
+	})
+	eng.Run()
+	if local-eng.Now() != 0 && local < eng.Now() {
+		t.Fatalf("local delivery at %d", local)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	var first, second sim.Time
+	eng.Schedule(0, func(*sim.Engine) {
+		m.Send(0, 1, 64, func(a sim.Time) { first = a })
+		m.Send(0, 1, 64, func(a sim.Time) { second = a })
+	})
+	eng.Run()
+	// 64 B at 32 GB/s = 2 ns serialization on the shared link.
+	if second <= first {
+		t.Fatalf("no contention: first %d, second %d", first, second)
+	}
+	if want := first + 2*ns; second != want {
+		t.Fatalf("second at %d, want %d", second, want)
+	}
+}
+
+func TestDisjointPathsDontContend(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	var a, b sim.Time
+	eng.Schedule(0, func(*sim.Engine) {
+		m.Send(0, 1, 64, func(at sim.Time) { a = at })
+		m.Send(4, 5, 64, func(at sim.Time) { b = at })
+	})
+	eng.Run()
+	if a != b {
+		t.Fatalf("disjoint transfers finish at %d and %d, want equal", a, b)
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mesh(eng)
+	eng.Schedule(0, func(*sim.Engine) {
+		m.Send(0, 15, 64, func(sim.Time) {})
+		m.Send(0, 0, 8, func(sim.Time) {})
+	})
+	eng.Run()
+	if m.Packets != 2 || m.BytesSent != 72 {
+		t.Fatalf("packets/bytes = %d/%d", m.Packets, m.BytesSent)
+	}
+	if m.AvgHops() != 3 {
+		t.Fatalf("AvgHops = %v, want 3", m.AvgHops())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, f := range []func(){
+		func() { New(eng, 0, ns, 1) },
+		func() { New(eng, 4, ns, 0) },
+		func() { mesh(eng).Hops(-1, 0) },
+		func() { mesh(eng).Hops(0, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: delivery time is always >= uncongested latency, and
+// serialized same-link packets never violate link bandwidth.
+func TestSendLatencyLowerBoundProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw uint8, n uint8) bool {
+		eng := sim.NewEngine()
+		m := mesh(eng)
+		src := int(srcRaw) % 16
+		dst := int(dstRaw) % 16
+		count := 1 + int(n%8)
+		times := make([]sim.Time, 0, count)
+		eng.Schedule(0, func(*sim.Engine) {
+			for i := 0; i < count; i++ {
+				m.Send(src, dst, 64, func(at sim.Time) { times = append(times, at) })
+			}
+		})
+		eng.Run()
+		min := m.Latency(src, dst)
+		for i, at := range times {
+			if at < min {
+				return false
+			}
+			if i > 0 && times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by every timed component in the microbank simulator.
+//
+// Time is measured in picoseconds (type Time) so that the 2 GHz core
+// domain (500 ps), the 250 MHz DRAM mat domain (4000 ps), and arbitrary
+// interface clocks can coexist without rounding. Events scheduled for
+// the same instant fire in the order of their (priority, sequence)
+// pair, making runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time uint64
+
+// Common time units, expressed in Time (picoseconds).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+)
+
+// Never is a sentinel timestamp that compares after every reachable
+// simulation instant. It marks idle resources.
+const Never Time = ^Time(0)
+
+// Event is a scheduled callback. The callback receives the engine so it
+// can schedule follow-up events.
+type Event struct {
+	when     Time
+	priority int
+	seq      uint64
+	fn       func(*Engine)
+	index    int // heap index, -1 once popped or cancelled
+}
+
+// When returns the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct one with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with time set to zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at the given absolute time with priority
+// zero. Scheduling in the past panics: that is always a model bug.
+func (e *Engine) Schedule(at Time, fn func(*Engine)) *Event {
+	return e.ScheduleP(at, 0, fn)
+}
+
+// ScheduleP enqueues fn at the given absolute time with an explicit
+// priority. Lower priorities fire first among same-instant events.
+func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{when: at, priority: priority, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run delay picoseconds from now.
+func (e *Engine) After(delay Time, fn func(*Engine)) *Event {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Halt stops Run/RunUntil after the in-flight event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event. It reports false if
+// the queue was empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.when < e.now {
+		panic("sim: event heap corrupted (time went backwards)")
+	}
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn(e)
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to the deadline (if it is later than the last event). It
+// returns the number of events fired during this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.halted = false
+	start := e.fired
+	for !e.halted {
+		if len(e.queue) == 0 || e.queue[0].when > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// Clock converts between a fixed-period clock domain and absolute time.
+type Clock struct {
+	period Time
+}
+
+// NewClock returns a clock with the given period. A zero period panics.
+func NewClock(period Time) Clock {
+	if period == 0 {
+		panic("sim: zero clock period")
+	}
+	return Clock{period: period}
+}
+
+// Period returns the clock period in picoseconds.
+func (c Clock) Period() Time { return c.period }
+
+// FreqMHz returns the clock frequency in megahertz.
+func (c Clock) FreqMHz() float64 {
+	return 1e6 / float64(c.period)
+}
+
+// Cycles converts a duration to whole cycles, rounding up.
+func (c Clock) Cycles(d Time) uint64 {
+	return uint64((d + c.period - 1) / c.period)
+}
+
+// Duration converts a cycle count to a duration.
+func (c Clock) Duration(cycles uint64) Time {
+	return Time(cycles) * c.period
+}
+
+// NextEdge returns the first clock edge at or after t.
+func (c Clock) NextEdge(t Time) Time {
+	rem := t % c.period
+	if rem == 0 {
+		return t
+	}
+	return t + c.period - rem
+}

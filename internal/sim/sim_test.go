@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func(*Engine) { got = append(got, 3) })
+	e.Schedule(10, func(*Engine) { got = append(got, 1) })
+	e.Schedule(20, func(*Engine) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEnginePriority(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.ScheduleP(5, 1, func(*Engine) { got = append(got, "low") })
+	e.ScheduleP(5, -1, func(*Engine) { got = append(got, "high") })
+	e.Run()
+	if got[0] != "high" || got[1] != "low" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(5, nil)
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+}
+
+func TestEngineAfterAndChaining(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(10, func(e *Engine) {
+		times = append(times, e.Now())
+		e.After(15, func(e *Engine) {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 25 {
+		t.Fatalf("times = %v, want [10 25]", times)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func(e *Engine) {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(10); i <= 100; i += 10 {
+		e.Schedule(i, func(*Engine) { count++ })
+	}
+	n := e.RunUntil(45)
+	if n != 4 || count != 4 {
+		t.Fatalf("fired %d events (count %d), want 4", n, count)
+	}
+	if e.Now() != 45 {
+		t.Fatalf("Now = %d, want 45", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now = %d, want 200", e.Now())
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestEngineRandomOrder checks, property-style, that random schedules
+// always fire in nondecreasing time order and fire exactly once.
+func TestEngineRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 200
+		var fireTimes []Time
+		want := make([]Time, 0, n)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			want = append(want, at)
+			e.Schedule(at, func(e *Engine) { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != n {
+			t.Fatalf("fired %d, want %d", len(fireTimes), n)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fireTimes[i] != want[i] {
+				t.Fatalf("trial %d: fire order mismatch at %d: got %d want %d",
+					trial, i, fireTimes[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock(500) // 2 GHz
+	if c.Period() != 500 {
+		t.Fatalf("period = %d", c.Period())
+	}
+	if got := c.FreqMHz(); got != 2000 {
+		t.Fatalf("freq = %v MHz, want 2000", got)
+	}
+	if c.Cycles(1400) != 3 {
+		t.Fatalf("Cycles(1400) = %d, want 3 (round up)", c.Cycles(1400))
+	}
+	if c.Cycles(1500) != 3 {
+		t.Fatalf("Cycles(1500) = %d, want 3", c.Cycles(1500))
+	}
+	if c.Duration(4) != 2000 {
+		t.Fatalf("Duration(4) = %d, want 2000", c.Duration(4))
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := NewClock(4000)
+	cases := []struct{ in, want Time }{
+		{0, 0}, {1, 4000}, {3999, 4000}, {4000, 4000}, {4001, 8000},
+	}
+	for _, tc := range cases {
+		if got := c.NextEdge(tc.in); got != tc.want {
+			t.Errorf("NextEdge(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClockZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+// Property: NextEdge output is always >= input, aligned, and less than
+// one period beyond the input.
+func TestClockNextEdgeProperty(t *testing.T) {
+	f := func(tRaw uint32, pRaw uint16) bool {
+		p := Time(pRaw%10000) + 1
+		c := NewClock(p)
+		in := Time(tRaw)
+		out := c.NextEdge(in)
+		return out >= in && out%p == 0 && out-in < p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cycles/Duration round-trip: Duration(Cycles(d)) >= d and
+// within one period.
+func TestClockCyclesDurationProperty(t *testing.T) {
+	f := func(dRaw uint32, pRaw uint16) bool {
+		p := Time(pRaw%10000) + 1
+		c := NewClock(p)
+		d := Time(dRaw)
+		rt := c.Duration(c.Cycles(d))
+		return rt >= d && rt-d < p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package stats provides the lightweight instrumentation primitives
+// used throughout the simulator: named counters, ratio helpers,
+// latency histograms, and fixed-width table rendering for the
+// experiment harnesses.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Histogram is a power-of-two bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := 0
+	for b := v; b > 0; b >>= 1 {
+		idx++
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// bucket upper edges; it is exact to within a factor of two.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Set is a string-keyed collection of counters with stable iteration,
+// used for per-run summaries.
+type Set struct {
+	names []string
+	vals  map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{vals: map[string]*Counter{}}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.vals[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.vals[name] = c
+	s.names = append(s.names, name)
+	return c
+}
+
+// Get returns the value of the named counter (0 if absent).
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.vals[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	out := append([]string(nil), s.names...)
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set one counter per line.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, s.vals[n].Value())
+	}
+	return b.String()
+}
+
+// Table renders experiment output as a fixed-width text table matching
+// the row/column structure of the paper's figures.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	rowSeps map[int]bool
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header, rowSeps: map[int]bool{}}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3
+// decimal places (the paper's precision in Figs. 6, 8, 9).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator draws a rule after the last added row.
+func (t *Table) AddSeparator() {
+	t.rowSeps[len(t.rows)] = true
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the formatted cell (row, col); it panics if out of range.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	rule := strings.Repeat("-", total-2)
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	for i, r := range t.rows {
+		line(r)
+		if t.rowSeps[i+1] {
+			b.WriteString(rule)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,475 @@
+// Package system assembles the full simulated machine of §VI-A: cores
+// (package cpu) with private L1 data caches, a shared L2 per 4-core
+// cluster, a MESI reverse directory per memory controller, a mesh NoC
+// (package noc) between clusters and controllers, and one memory
+// controller per channel (package memctrl) over the DRAM device model
+// (package dram). Run executes a workload assignment to completion and
+// returns the paper's metrics: IPC, power breakdown, EDP inputs,
+// row-buffer and predictor statistics.
+//
+// Modeling notes (deviations from the paper's McSimA+ setup, see
+// DESIGN.md): instruction fetch is assumed to hit the L1I (the studied
+// workloads are data-bound); cache bank conflicts are not modeled; L2
+// miss coherence latency is charged as directory-outcome hops times the
+// requester↔controller mesh latency.
+package system
+
+import (
+	"fmt"
+
+	"microbank/internal/cache"
+	"microbank/internal/config"
+	"microbank/internal/cpu"
+	"microbank/internal/energy"
+	"microbank/internal/memctrl"
+	"microbank/internal/noc"
+	"microbank/internal/sim"
+	"microbank/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Sys config.System
+	// Profiles assigns a workload to each populated core; its length
+	// must equal Sys.Cores.
+	Profiles     []workload.Profile
+	InstrPerCore uint64
+	// WarmupInstr excludes each core's first WarmupInstr instructions
+	// from every reported metric (cache/row-buffer warm-up), the
+	// SimPoint-style measured-region convention. Must be less than
+	// InstrPerCore.
+	WarmupInstr uint64
+	Seed        int64
+	// GeneratorFor, when non-nil, overrides the synthetic generator for
+	// each core (trace replay via workload.Trace, custom generators,
+	// ...). Profiles[core] still supplies DepFrac for the core model.
+	GeneratorFor func(core int) workload.Generator
+}
+
+// Result carries every metric the experiments report.
+type Result struct {
+	// IPC is the sum of per-core IPCs (identical to single-core IPC
+	// when one core is populated).
+	IPC       float64
+	PerCore   []cpu.Stats
+	RuntimePS sim.Time
+
+	Mem       memctrl.Stats // aggregated over controllers
+	Breakdown energy.Breakdown
+
+	// MAPKI is measured main-memory accesses per kilo-instruction.
+	MAPKI float64
+	// RowHitRate is the serviced-from-open-row fraction.
+	RowHitRate float64
+	// PredHitRate is the page-decision accuracy (Fig. 13).
+	PredHitRate float64
+	// AvgReadLatencyNS is the mean controller read latency.
+	AvgReadLatencyNS float64
+	// L1HitRate / L2HitRate summarize the hierarchy.
+	L1HitRate float64
+	L2HitRate float64
+	// NoCAvgHops is mean hops per NoC packet.
+	NoCAvgHops float64
+}
+
+// machine is the assembled hardware for one run.
+type machine struct {
+	eng    *sim.Engine
+	spec   Spec
+	mesh   *noc.Mesh
+	ctrls  []*memctrl.Controller
+	dirs   []*cache.Directory
+	l2s    []*cache.Cache
+	l1s    []*cache.Cache
+	cores  []*cpu.Core
+	l2Wait [][]func() bool // stalled L1 fills per L2
+
+	finished int
+	lastEnd  sim.Time
+
+	warmCount int
+	warmTime  sim.Time
+	warmSnap  *rawCounters
+}
+
+// rawCounters is a monotone snapshot used to subtract warm-up activity.
+type rawCounters struct {
+	mem        memctrl.Stats
+	l1a, l1h   uint64
+	l2a, l2h   uint64
+	nocPackets uint64
+	nocHops    uint64
+}
+
+func (m *machine) snapshotCounters() *rawCounters {
+	rc := &rawCounters{mem: m.memAgg()}
+	for _, c := range m.l1s {
+		s := c.Stats()
+		rc.l1a += s.Accesses
+		rc.l1h += s.Hits
+	}
+	for _, c := range m.l2s {
+		s := c.Stats()
+		rc.l2a += s.Accesses
+		rc.l2h += s.Hits
+	}
+	rc.nocPackets = m.mesh.Packets
+	rc.nocHops = m.mesh.TotalHops
+	return rc
+}
+
+// memAgg sums controller statistics.
+func (m *machine) memAgg() memctrl.Stats {
+	var mem memctrl.Stats
+	for _, ctl := range m.ctrls {
+		s := ctl.Stats()
+		mem.Reads += s.Reads
+		mem.Writes += s.Writes
+		mem.RowHits += s.RowHits
+		mem.RowOpens += s.RowOpens
+		mem.RowConflictPres += s.RowConflictPres
+		mem.Retired += s.Retired
+		mem.QueueOccIntegral += s.QueueOccIntegral
+		mem.ReadLatencyIntegralPS += s.ReadLatencyIntegralPS
+		mem.PredDecisions += s.PredDecisions
+		mem.PredRight += s.PredRight
+		mem.Energy.ActPrePJ += s.Energy.ActPrePJ
+		mem.Energy.RdWrPJ += s.Energy.RdWrPJ
+		mem.Energy.IOPJ += s.Energy.IOPJ
+		mem.Energy.RefreshPJ += s.Energy.RefreshPJ
+		mem.Energy.LatchPJ += s.Energy.LatchPJ
+		mem.Energy.Acts += s.Energy.Acts
+		mem.Energy.Reads += s.Energy.Reads
+		mem.Energy.Writes += s.Energy.Writes
+		mem.Energy.Pres += s.Energy.Pres
+		mem.Energy.Refreshes += s.Energy.Refreshes
+	}
+	return mem
+}
+
+// subStats returns a - b field-wise.
+func subStats(a, b memctrl.Stats) memctrl.Stats {
+	a.Reads -= b.Reads
+	a.Writes -= b.Writes
+	a.RowHits -= b.RowHits
+	a.RowOpens -= b.RowOpens
+	a.RowConflictPres -= b.RowConflictPres
+	a.Retired -= b.Retired
+	a.QueueOccIntegral -= b.QueueOccIntegral
+	a.ReadLatencyIntegralPS -= b.ReadLatencyIntegralPS
+	a.PredDecisions -= b.PredDecisions
+	a.PredRight -= b.PredRight
+	a.Energy.ActPrePJ -= b.Energy.ActPrePJ
+	a.Energy.RdWrPJ -= b.Energy.RdWrPJ
+	a.Energy.IOPJ -= b.Energy.IOPJ
+	a.Energy.RefreshPJ -= b.Energy.RefreshPJ
+	a.Energy.LatchPJ -= b.Energy.LatchPJ
+	a.Energy.Acts -= b.Energy.Acts
+	a.Energy.Reads -= b.Energy.Reads
+	a.Energy.Writes -= b.Energy.Writes
+	a.Energy.Pres -= b.Energy.Pres
+	a.Energy.Refreshes -= b.Energy.Refreshes
+	return a
+}
+
+// Run builds the machine and simulates until every core has committed
+// its instruction budget. It returns an error if the simulation stops
+// making progress before completion (a model bug, not a user error).
+func Run(spec Spec) (Result, error) {
+	if err := spec.Sys.Validate(); err != nil {
+		return Result{}, fmt.Errorf("system: %w", err)
+	}
+	if len(spec.Profiles) != spec.Sys.Cores {
+		return Result{}, fmt.Errorf("system: %d profiles for %d cores", len(spec.Profiles), spec.Sys.Cores)
+	}
+	if spec.InstrPerCore == 0 {
+		return Result{}, fmt.Errorf("system: zero instruction budget")
+	}
+	if spec.WarmupInstr >= spec.InstrPerCore {
+		return Result{}, fmt.Errorf("system: warm-up %d >= budget %d", spec.WarmupInstr, spec.InstrPerCore)
+	}
+	m := build(spec)
+	for _, c := range m.cores {
+		c.Start()
+	}
+	m.eng.Run()
+	if m.finished != len(m.cores) {
+		return Result{}, fmt.Errorf("system: stalled with %d/%d cores finished (events drained)",
+			m.finished, len(m.cores))
+	}
+	return m.collect(), nil
+}
+
+func build(spec Spec) *machine {
+	sys := spec.Sys
+	eng := sim.NewEngine()
+	clusters := (sys.Cores + sys.CoresPerL2 - 1) / sys.CoresPerL2
+	channels := sys.Mem.Org.Channels
+
+	// Mesh must cover both clusters and controllers.
+	dim := sys.MeshDim
+	for dim*dim < clusters || dim*dim < channels {
+		dim++
+	}
+	if clusters == 1 && channels == 1 {
+		dim = 1
+	}
+	m := &machine{
+		eng:  eng,
+		spec: spec,
+		mesh: noc.New(eng, dim, sys.NoCHopPS, 64),
+	}
+
+	corePeriod := sys.CoreClock().Period()
+
+	for ch := 0; ch < channels; ch++ {
+		m.ctrls = append(m.ctrls, memctrl.New(eng, sys.Mem, sys.Ctrl, sys.Cores))
+		m.dirs = append(m.dirs, cache.NewDirectory(max(clusters, 1)))
+	}
+
+	m.l2Wait = make([][]func() bool, clusters)
+	for cl := 0; cl < clusters; cl++ {
+		cl := cl
+		l2 := cache.New(eng, sys.L2, corePeriod,
+			func(block uint64, write bool, thread int, done func(at sim.Time)) {
+				m.l2Miss(cl, block, write, thread, done)
+			},
+			func(block uint64, thread int) {
+				m.memWrite(cl, block, thread)
+			})
+		l2.OnEvict = func(block uint64) { m.l2Evicted(cl, block) }
+		l2.OnMSHRFree = func() { m.drainL2Waiters(cl) }
+		m.l2s = append(m.l2s, l2)
+	}
+
+	for core := 0; core < sys.Cores; core++ {
+		core := core
+		cl := core / sys.CoresPerL2
+		l1 := cache.New(eng, sys.L1D, corePeriod,
+			func(block uint64, write bool, thread int, done func(at sim.Time)) {
+				m.l1Miss(cl, block, write, thread, done)
+			},
+			func(block uint64, thread int) {
+				// L1 dirty victim: update the shared L2 (posted).
+				if !m.l2s[cl].Access(block, true, core, nil) {
+					m.l2Wait[cl] = append(m.l2Wait[cl], func() bool {
+						return m.l2s[cl].Access(block, true, core, nil)
+					})
+				}
+			})
+		m.l1s = append(m.l1s, l1)
+
+		prof := spec.Profiles[core]
+		var gen workload.Generator
+		if spec.GeneratorFor != nil {
+			gen = spec.GeneratorFor(core)
+		} else {
+			gen = workload.NewSynthetic(prof, core%63, spec.Seed)
+		}
+		params := cpu.Params{
+			ID:          core,
+			FreqMHz:     sys.Core.FreqMHz,
+			IssueWidth:  sys.Core.IssueWidth,
+			CommitWidth: sys.Core.CommitWidth,
+			ROB:         sys.Core.ROBEntries,
+			DepFrac:     prof.DepFrac,
+			Budget:      spec.InstrPerCore,
+			Warmup:      spec.WarmupInstr,
+			Seed:        spec.Seed + int64(core)*131,
+		}
+		var cc *cpu.Core
+		cc = cpu.New(eng, params, gen,
+			func(addrV uint64, write bool, done func(at sim.Time)) bool {
+				return l1.Access(addrV, write, core, done)
+			},
+			func(st cpu.Stats) {
+				m.finished++
+				if st.FinishAt > m.lastEnd {
+					m.lastEnd = st.FinishAt
+				}
+			})
+		l1.OnMSHRFree = cc.Kick
+		if spec.WarmupInstr > 0 {
+			cc.OnWarm = m.coreWarmed
+		}
+		m.cores = append(m.cores, cc)
+	}
+	return m
+}
+
+// l1Miss forwards an L1 fill to the cluster's L2, with retry when the
+// L2's MSHRs are busy.
+func (m *machine) l1Miss(cluster int, block uint64, write bool, thread int, done func(at sim.Time)) {
+	if m.l2s[cluster].Access(block, write, thread, done) {
+		return
+	}
+	m.l2Wait[cluster] = append(m.l2Wait[cluster], func() bool {
+		return m.l2s[cluster].Access(block, write, thread, done)
+	})
+}
+
+func (m *machine) drainL2Waiters(cluster int) {
+	w := m.l2Wait[cluster]
+	m.l2Wait[cluster] = m.l2Wait[cluster][:0]
+	for i, try := range w {
+		if !try() {
+			// Still full: requeue the remainder in order.
+			m.l2Wait[cluster] = append(m.l2Wait[cluster], w[i:]...)
+			return
+		}
+	}
+}
+
+// clusterNode maps a cluster to its mesh node; ctrlNode a channel.
+func (m *machine) clusterNode(cl int) int { return cl % m.mesh.Nodes() }
+func (m *machine) ctrlNode(ch int) int    { return ch % m.mesh.Nodes() }
+
+// homeChannel returns the memory channel owning a block.
+func (m *machine) homeChannel(block uint64) int {
+	return m.ctrls[0].Mapper().Map(block).Channel
+}
+
+// l2Miss implements the L2 fill path: directory lookup, coherence
+// actions, NoC transfer, and (usually) a main-memory access.
+func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done func(at sim.Time)) {
+	ch := m.homeChannel(block)
+	out := m.dirs[ch].Fill(block, cluster, write)
+	src := m.clusterNode(cluster)
+	dst := m.ctrlNode(ch)
+
+	// Apply coherence actions to the victim caches now; their latency
+	// is charged to the requester as extra hops below.
+	for _, node := range out.Invalidate {
+		m.l2s[node].Invalidate(block)
+	}
+	for _, node := range out.Downgrade {
+		m.l2s[node].Downgrade(block)
+	}
+	extra := sim.Time(out.ExtraHops) * m.mesh.Latency(src, dst)
+
+	if !out.NeedMem {
+		// Cache-to-cache transfer: request + forwarded line, no DRAM.
+		m.mesh.Send(src, dst, 16, func(sim.Time) {
+			m.mesh.Send(dst, src, 16+64, func(at sim.Time) {
+				done(at + extra)
+			})
+		})
+		return
+	}
+	m.mesh.Send(src, dst, 16, func(sim.Time) {
+		m.ctrls[ch].Enqueue(&memctrl.Request{
+			Addr:   block,
+			Write:  false, // fills read the line; dirtiness lives in the L2
+			Thread: thread,
+			Done: func(sim.Time) {
+				m.mesh.Send(dst, src, 16+64, func(at sim.Time) {
+					done(at + extra)
+				})
+			},
+		})
+	})
+}
+
+// l2Evicted handles an L2 victim: notify the directory and back-
+// invalidate the cluster's L1s (inclusive hierarchy).
+func (m *machine) l2Evicted(cluster int, block uint64) {
+	ch := m.homeChannel(block)
+	m.dirs[ch].Evict(block, cluster)
+	lo := cluster * m.spec.Sys.CoresPerL2
+	hi := lo + m.spec.Sys.CoresPerL2
+	if hi > len(m.l1s) {
+		hi = len(m.l1s)
+	}
+	for i := lo; i < hi; i++ {
+		m.l1s[i].Invalidate(block)
+	}
+}
+
+// memWrite sends an L2 dirty victim to memory (posted).
+func (m *machine) memWrite(cluster int, block uint64, thread int) {
+	ch := m.homeChannel(block)
+	src := m.clusterNode(cluster)
+	dst := m.ctrlNode(ch)
+	m.mesh.Send(src, dst, 16+64, func(sim.Time) {
+		m.ctrls[ch].Enqueue(&memctrl.Request{Addr: block, Write: true, Thread: thread})
+	})
+}
+
+// coreWarmed snapshots all counters once every core has crossed its
+// warm-up boundary.
+func (m *machine) coreWarmed() {
+	m.warmCount++
+	if m.warmCount == len(m.cores) {
+		m.warmSnap = m.snapshotCounters()
+		m.warmTime = m.eng.Now()
+	}
+}
+
+// collect aggregates the run's statistics.
+func (m *machine) collect() Result {
+	sys := m.spec.Sys
+	var res Result
+	res.RuntimePS = m.lastEnd
+	period := sys.CoreClock().Period()
+
+	var instr uint64
+	for _, c := range m.cores {
+		st := c.Stats()
+		res.PerCore = append(res.PerCore, st)
+		res.IPC += st.IPC(period)
+		instr += st.Instructions - st.WarmInstr
+	}
+
+	end := m.snapshotCounters()
+	warm := m.warmSnap
+	if warm == nil {
+		warm = &rawCounters{}
+	} else {
+		res.RuntimePS = m.lastEnd - m.warmTime
+	}
+	mem := subStats(end.mem, warm.mem)
+	res.Mem = mem
+	res.RowHitRate = mem.RowHitRate()
+	res.PredHitRate = mem.PredictorHitRate()
+	res.AvgReadLatencyNS = mem.AvgReadLatencyNS()
+	res.MAPKI = float64(mem.Reads+mem.Writes) / (float64(instr) / 1000.0)
+
+	staticMW := sys.Mem.Energy.StaticMWPerRank * float64(sys.Mem.Org.Channels*sys.Mem.Org.RanksPerChan)
+	res.Breakdown = energy.Compute(instr, sys.CoreEnergyPJPerOp, mem.Energy, staticMW, res.RuntimePS)
+
+	if a := end.l1a - warm.l1a; a > 0 {
+		res.L1HitRate = float64(end.l1h-warm.l1h) / float64(a)
+	}
+	if p := end.nocPackets - warm.nocPackets; p > 0 {
+		res.NoCAvgHops = float64(end.nocHops-warm.nocHops) / float64(p)
+	}
+	if a := end.l2a - warm.l2a; a > 0 {
+		res.L2HitRate = float64(end.l2h-warm.l2h) / float64(a)
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// UniformSpec builds a Spec running the same profile on every core.
+func UniformSpec(sys config.System, prof workload.Profile, instr uint64, seed int64) Spec {
+	profs := make([]workload.Profile, sys.Cores)
+	for i := range profs {
+		profs[i] = prof
+	}
+	return Spec{Sys: sys, Profiles: profs, InstrPerCore: instr, Seed: seed}
+}
+
+// MixSpec builds a Spec assigning a multiprogrammed mix round-robin.
+func MixSpec(sys config.System, mix workload.Mix, instr uint64, seed int64) Spec {
+	profs := make([]workload.Profile, sys.Cores)
+	for i := range profs {
+		profs[i] = mix.ForCore(i)
+	}
+	return Spec{Sys: sys, Profiles: profs, InstrPerCore: instr, Seed: seed}
+}

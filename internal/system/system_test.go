@@ -1,0 +1,196 @@
+package system
+
+import (
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/workload"
+)
+
+func singleSpec(name string, nW, nB int, instr uint64) Spec {
+	sys := config.SingleCore(config.MemPreset(config.LPDDRTSI, nW, nB))
+	spec := UniformSpec(sys, workload.MustGet(name), instr, 42)
+	spec.WarmupInstr = instr / 3
+	return spec
+}
+
+func TestRunSingleCoreCompletes(t *testing.T) {
+	res, err := Run(singleSpec("429.mcf", 1, 1, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 2 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+	if res.RuntimePS == 0 {
+		t.Fatal("zero runtime")
+	}
+	if res.Mem.Reads == 0 {
+		t.Fatal("no memory reads reached DRAM")
+	}
+	if res.MAPKI <= 0 {
+		t.Fatal("MAPKI not measured")
+	}
+	if res.L1HitRate <= 0 || res.L1HitRate >= 1 {
+		t.Fatalf("L1 hit rate = %v", res.L1HitRate)
+	}
+	if res.Breakdown.TotalPJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := singleSpec("429.mcf", 1, 1, 1000)
+	bad := spec
+	bad.InstrPerCore = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad = spec
+	bad.Profiles = bad.Profiles[:0]
+	if _, err := Run(bad); err == nil {
+		t.Error("profile/core mismatch accepted")
+	}
+	bad = spec
+	bad.Sys.Mem.Org.NW = 3
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid org accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(singleSpec("450.soplex", 2, 2, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(singleSpec("450.soplex", 2, 2, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.RuntimePS != b.RuntimePS || a.Mem.Reads != b.Mem.Reads {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.IPC, b.IPC)
+	}
+}
+
+func TestMicrobanksImproveMcf(t *testing.T) {
+	base, err := Run(singleSpec("429.mcf", 1, 1, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := Run(singleSpec("429.mcf", 16, 16, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub.IPC <= base.IPC {
+		t.Fatalf("μbanks did not help mcf: %v vs %v", ub.IPC, base.IPC)
+	}
+	// Energy must also fall (smaller activations).
+	if ub.Breakdown.ActPrePJ >= base.Breakdown.ActPrePJ {
+		t.Fatalf("ACT/PRE energy did not fall: %v vs %v",
+			ub.Breakdown.ActPrePJ, base.Breakdown.ActPrePJ)
+	}
+}
+
+func TestSpecLowInsensitiveToMemory(t *testing.T) {
+	base, err := Run(singleSpec("453.povray", 1, 1, 60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := Run(singleSpec("453.povray", 8, 8, 60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache-resident workload: μbanks move IPC by only a few percent.
+	ratio := ub.IPC / base.IPC
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Fatalf("spec-low IPC ratio = %v, want ~1", ratio)
+	}
+	if base.MAPKI > 8 {
+		t.Fatalf("spec-low MAPKI = %v, want < 8 (cache-resident)", base.MAPKI)
+	}
+}
+
+func TestMultiCoreCluster(t *testing.T) {
+	sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 2))
+	sys.Cores = 8 // two clusters, keep the test fast
+	sys.Mem.Org.Channels = 4
+	spec := MixSpec(sys, workload.MixHigh(), 5000, 7)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 8 {
+		t.Fatalf("per-core stats = %d", len(res.PerCore))
+	}
+	if res.IPC <= 0 {
+		t.Fatal("no aggregate IPC")
+	}
+	if res.NoCAvgHops <= 0 {
+		t.Fatal("NoC unused in multi-cluster run")
+	}
+}
+
+func TestSharedWorkloadExercisesCoherence(t *testing.T) {
+	sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 1, 1))
+	sys.Cores = 8
+	sys.Mem.Org.Channels = 2
+	spec := UniformSpec(sys, workload.MustGet("RADIX"), 5000, 3)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.Reads == 0 {
+		t.Fatal("no memory traffic")
+	}
+}
+
+func TestInterfacesOrdering(t *testing.T) {
+	// DDR3-TSI > DDR3-PCB in IPC for bandwidth-bound multicore load
+	// (Fig. 14's headline ordering): TSI removes the pin limit, doubling
+	// channels (16 vs 8) and trimming tAA. Uses the presets' own channel
+	// counts — that asymmetry IS the comparison.
+	ipcFor := func(iface config.Interface) float64 {
+		mem := config.MemPreset(iface, 1, 1)
+		sys := config.DefaultSystem(mem)
+		sys.Cores = 32 // enough demand that the PCB's 8 channels queue up
+		spec := UniformSpec(sys, workload.MustGet("470.lbm"), 9000, 9)
+		spec.WarmupInstr = 3000
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	pcb := ipcFor(config.DDR3PCB)
+	tsi := ipcFor(config.DDR3TSI)
+	if tsi <= pcb {
+		t.Fatalf("DDR3-TSI IPC %v not above DDR3-PCB %v", tsi, pcb)
+	}
+}
+
+func TestPagePolicySweepRuns(t *testing.T) {
+	for _, pol := range []config.PagePolicy{config.OpenPage, config.ClosePage, config.PredLocal, config.PredTournament, config.PredPerfect} {
+		spec := singleSpec("429.mcf", 2, 8, 8000)
+		spec.Sys.Ctrl.PagePolicy = pol
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.IPC <= 0 {
+			t.Fatalf("%v: IPC %v", pol, res.IPC)
+		}
+		if pol == config.PredPerfect && res.PredHitRate != 1 && res.Mem.PredDecisions > 0 {
+			t.Fatalf("perfect policy hit rate = %v", res.PredHitRate)
+		}
+	}
+}
+
+func TestInterleaveSweepRuns(t *testing.T) {
+	for _, iB := range []int{6, 8, 10, 13} {
+		spec := singleSpec("470.lbm", 1, 1, 8000)
+		spec.Sys.Ctrl.InterleaveBit = iB
+		if _, err := Run(spec); err != nil {
+			t.Fatalf("iB=%d: %v", iB, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/workload"
+)
+
+// TestTraceReplayMatchesLiveGenerator records a synthetic workload to
+// the portable trace format, replays it through the full system via
+// Spec.GeneratorFor, and checks the run is identical to driving the
+// generator live.
+func TestTraceReplayMatchesLiveGenerator(t *testing.T) {
+	prof := workload.MustGet("450.soplex")
+	const instr = 15000
+
+	live := singleSpec("450.soplex", 2, 2, instr)
+	liveRes, err := Run(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record enough accesses to cover the instruction budget.
+	var buf bytes.Buffer
+	gen := workload.NewSynthetic(prof, 0, 42)
+	if err := workload.Record(&buf, gen, instr); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay := singleSpec("450.soplex", 2, 2, instr)
+	replay.GeneratorFor = func(core int) workload.Generator { return tr }
+	repRes, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repRes.IPC != liveRes.IPC || repRes.Mem.Reads != liveRes.Mem.Reads {
+		t.Fatalf("trace replay diverged: IPC %v vs %v, reads %d vs %d",
+			repRes.IPC, liveRes.IPC, repRes.Mem.Reads, liveRes.Mem.Reads)
+	}
+}
+
+func TestMulticoreDeterminism(t *testing.T) {
+	run := func() Result {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 2))
+		sys.Cores = 8
+		spec := MixSpec(sys, workload.MixHigh(), 6000, 5)
+		spec.WarmupInstr = 2000
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.IPC != b.IPC || a.RuntimePS != b.RuntimePS ||
+		a.Mem.Reads != b.Mem.Reads || a.Mem.RowHits != b.Mem.RowHits ||
+		a.Breakdown.TotalPJ() != b.Breakdown.TotalPJ() {
+		t.Fatalf("multicore run not deterministic:\n%+v\n%+v", a.Mem, b.Mem)
+	}
+}
+
+func TestWarmupExcludesColdMisses(t *testing.T) {
+	// povray's working set warms during the warm-up region, so its
+	// measured MAPKI must be far below the no-warm-up measurement.
+	cold := singleSpec("453.povray", 1, 1, 60000)
+	cold.WarmupInstr = 0
+	coldRes, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := singleSpec("453.povray", 1, 1, 60000)
+	warm.WarmupInstr = 40000
+	warmRes, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.MAPKI >= coldRes.MAPKI {
+		t.Fatalf("warm-up did not reduce measured MAPKI: %v vs %v",
+			warmRes.MAPKI, coldRes.MAPKI)
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	spec := singleSpec("429.mcf", 1, 1, 1000)
+	spec.WarmupInstr = 1000 // == budget
+	if _, err := Run(spec); err == nil {
+		t.Fatal("warm-up >= budget accepted")
+	}
+}
+
+func TestPerfectPolicyFullQueuePressure(t *testing.T) {
+	// Regression for the window-vs-queue decision bug: drive the
+	// perfect policy with far more outstanding requests than the
+	// 32-entry scheduling window on few banks.
+	spec := singleSpec("TPC-H", 1, 1, 40000)
+	spec.Sys.Ctrl.PagePolicy = config.PredPerfect
+	spec.Sys.Ctrl.QueueDepth = 4 // tiny window, deep queue
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.PredDecisions > 0 && res.PredHitRate != 1 {
+		t.Fatalf("oracle hit rate = %v", res.PredHitRate)
+	}
+}
+
+func TestTinyResources(t *testing.T) {
+	// Failure-injection: pathologically small structures must still
+	// drain (no deadlock) and produce sane results.
+	spec := singleSpec("470.lbm", 2, 2, 10000)
+	spec.Sys.L1D.MSHRs = 1
+	spec.Sys.L2.MSHRs = 2
+	spec.Sys.Ctrl.QueueDepth = 1
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+// Trace capture and replay. The paper drives its simulator from
+// SimPoint-selected Pin traces; this file provides the equivalent
+// plumbing for this repository: any Generator's output can be recorded
+// to a portable text format and replayed later (or brought in from an
+// external tool that emits the same format).
+//
+// Format: one access per line,
+//
+//	<gap> <hex address> <R|W>
+//
+// e.g. "3 1f4a40 R" means three non-memory instructions, then a read
+// of 0x1f4a40. Lines starting with '#' and blank lines are ignored.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record captures n accesses from gen into w.
+func Record(w io.Writer, gen Generator, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# microbank trace: %d accesses\n", n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		gap, acc := gen.Next()
+		rw := 'R'
+		if acc.Write {
+			rw = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x %c\n", gap, acc.Addr, rw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Trace is a fully-loaded access trace that implements Generator by
+// replaying (and wrapping around at the end, like Fixed).
+type Trace struct {
+	Gaps []int
+	Accs []Access
+	pos  int
+}
+
+// Len returns the number of recorded accesses.
+func (t *Trace) Len() int { return len(t.Accs) }
+
+// Next implements Generator.
+func (t *Trace) Next() (int, Access) {
+	if len(t.Accs) == 0 {
+		panic("workload: empty trace")
+	}
+	g, a := t.Gaps[t.pos], t.Accs[t.pos]
+	t.pos = (t.pos + 1) % len(t.Accs)
+	return g, a
+}
+
+// Reset rewinds the trace to the beginning.
+func (t *Trace) Reset() { t.pos = 0 }
+
+// Load parses a trace from r. Malformed lines abort with a positional
+// error.
+func Load(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		gap, err := strconv.Atoi(fields[0])
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("trace line %d: bad gap %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: bad address %q", lineNo, fields[1])
+		}
+		var write bool
+		switch fields[2] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace line %d: bad op %q", lineNo, fields[2])
+		}
+		t.Gaps = append(t.Gaps, gap)
+		t.Accs = append(t.Accs, Access{Addr: addr, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Accs) == 0 {
+		return nil, fmt.Errorf("trace: no accesses")
+	}
+	return t, nil
+}

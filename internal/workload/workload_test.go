@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, name := range Names() {
+		p := MustGet(name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+	}
+	if len(Names()) < 15 {
+		t.Fatalf("only %d profiles defined", len(Names()))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-benchmark"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet did not panic")
+		}
+	}()
+	MustGet("no-such-benchmark")
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	base := MustGet("429.mcf")
+	mut := func(f func(*Profile)) Profile { p := base; f(&p); return p }
+	bad := []Profile{
+		mut(func(p *Profile) { p.APKI = 0 }),
+		mut(func(p *Profile) { p.APKI = 2000 }),
+		mut(func(p *Profile) { p.WriteFrac = 1.5 }),
+		mut(func(p *Profile) { p.HotFrac = 0.8; p.StreamFrac = 0.4 }),
+		mut(func(p *Profile) { p.Streams = 0 }),
+		mut(func(p *Profile) { p.FootprintBytes = 0 }),
+		mut(func(p *Profile) { p.StreamStride = 0 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	p := MustGet("429.mcf")
+	a := NewSynthetic(p, 0, 42)
+	b := NewSynthetic(p, 0, 42)
+	for i := 0; i < 1000; i++ {
+		ga, aa := a.Next()
+		gb, ab := b.Next()
+		if ga != gb || aa != ab {
+			t.Fatalf("divergence at %d: (%d,%+v) vs (%d,%+v)", i, ga, aa, gb, ab)
+		}
+	}
+	c := NewSynthetic(p, 0, 43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		_, aa := a.Next()
+		_, ac := c.Next()
+		if aa == ac {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatal("different seeds produce near-identical streams")
+	}
+}
+
+func TestSyntheticAddressesLineAlignedAndInSlot(t *testing.T) {
+	for _, name := range []string{"429.mcf", "TPC-H", "RADIX"} {
+		p := MustGet(name)
+		for _, thread := range []int{0, 5, 62} {
+			g := NewSynthetic(p, thread, 7)
+			lo := uint64(thread) * threadSlotBytes
+			hi := lo + threadSlotBytes
+			for i := 0; i < 2000; i++ {
+				_, a := g.Next()
+				inPrivate := a.Addr >= lo && a.Addr < hi
+				inShared := a.Addr >= sharedBase && a.Addr < sharedBase+threadSlotBytes
+				if !inPrivate && !inShared {
+					t.Fatalf("%s thread %d: address %#x outside slot and shared region", name, thread, a.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestSyntheticGapMatchesAPKI(t *testing.T) {
+	p := MustGet("450.soplex")
+	g := NewSynthetic(p, 0, 1)
+	totalGap, n := 0, 20000
+	for i := 0; i < n; i++ {
+		gap, _ := g.Next()
+		totalGap += gap + 1 // +1 for the access itself
+	}
+	gotAPKI := float64(n) / float64(totalGap) * 1000
+	if math.Abs(gotAPKI-p.APKI)/p.APKI > 0.1 {
+		t.Fatalf("measured APKI %v, profile %v", gotAPKI, p.APKI)
+	}
+}
+
+func TestWriteFractionRealized(t *testing.T) {
+	p := MustGet("470.lbm")
+	g := NewSynthetic(p, 0, 3)
+	writes, n := 0, 20000
+	for i := 0; i < n; i++ {
+		_, a := g.Next()
+		if a.Write {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(n)
+	if math.Abs(got-p.WriteFrac) > 0.03 {
+		t.Fatalf("write fraction %v, want ~%v", got, p.WriteFrac)
+	}
+}
+
+// consecutiveFrac is a spatial-locality proxy: the fraction of accesses
+// landing within one cache line of the previous access to the same
+// region class (streams advance by small strides; pointer chasers jump).
+func consecutiveFrac(name string, n int) float64 {
+	g := NewSynthetic(MustGet(name), 0, 11)
+	seen := map[uint64]bool{}
+	local := 0
+	for i := 0; i < n; i++ {
+		_, a := g.Next()
+		line := a.Addr &^ 63
+		if seen[line] || seen[line-64] {
+			local++
+		}
+		seen[line] = true
+	}
+	return float64(local) / float64(n)
+}
+
+func TestSpatialLocalityOrdering(t *testing.T) {
+	mcf := consecutiveFrac("429.mcf", 20000)
+	canneal := consecutiveFrac("canneal", 20000)
+	if canneal <= mcf {
+		t.Fatalf("canneal locality (%v) must exceed mcf (%v) per §VI-C", canneal, mcf)
+	}
+}
+
+func TestHotFractionKeepsFootprintSmall(t *testing.T) {
+	// spec-low profiles should touch few distinct lines.
+	seen := func(name string, n int) int {
+		g := NewSynthetic(MustGet(name), 0, 13)
+		lines := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			_, a := g.Next()
+			lines[a.Addr] = true
+		}
+		return len(lines)
+	}
+	// Enough samples to saturate the hot set: spec-low's distinct-line
+	// count is bounded by its hot region, spec-high's keeps growing.
+	low := seen("453.povray", 50000)
+	high := seen("429.mcf", 50000)
+	if low*2 > high {
+		t.Fatalf("spec-low touches %d lines vs spec-high %d; want much smaller", low, high)
+	}
+}
+
+func TestFixedGenerator(t *testing.T) {
+	f := &Fixed{Gap: 3, Accs: []Access{{Addr: 0}, {Addr: 64, Write: true}}}
+	g1, a1 := f.Next()
+	_, a2 := f.Next()
+	_, a3 := f.Next()
+	if g1 != 3 || a1.Addr != 0 || a2.Addr != 64 || !a2.Write || a3.Addr != 0 {
+		t.Fatalf("fixed trace wrong: %v %v %v", a1, a2, a3)
+	}
+	empty := &Fixed{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Fixed did not panic")
+		}
+	}()
+	empty.Next()
+}
+
+func TestGroupsAndMixes(t *testing.T) {
+	if len(Group(SpecHigh)) != 9 {
+		t.Fatalf("spec-high has %d members", len(Group(SpecHigh)))
+	}
+	for _, c := range []MAPKIClass{SpecHigh, SpecMed, SpecLow} {
+		for _, n := range Group(c) {
+			if _, err := Get(n); err != nil {
+				t.Errorf("group %v member %s: %v", c, n, err)
+			}
+		}
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+	if MAPKIClass(9).String() != "MAPKIClass(9)" {
+		t.Error("unknown class string")
+	}
+	mh := MixHigh()
+	if mh.Name != "mix-high" || len(mh.Members) != 9 {
+		t.Fatalf("mix-high = %+v", mh)
+	}
+	mb := MixBlend()
+	if len(mb.Members) != len(SpecAll()) {
+		t.Fatal("mix-blend missing members")
+	}
+	// Round-robin assignment covers all members.
+	seen := map[string]bool{}
+	for core := 0; core < 64; core++ {
+		seen[mh.ForCore(core).Name] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("mix assignment covered %d members", len(seen))
+	}
+}
+
+func TestThreadRangePanics(t *testing.T) {
+	p := MustGet("429.mcf")
+	for _, th := range []int{-1, 63, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("thread %d accepted", th)
+				}
+			}()
+			NewSynthetic(p, th, 1)
+		}()
+	}
+}
+
+// Property: for any profile and seed, gaps are nonnegative and bounded,
+// and addresses never collide across distinct private threads.
+func TestGeneratorSanityProperty(t *testing.T) {
+	names := Names()
+	f := func(seed int64, pi uint8, t1Raw, t2Raw uint8) bool {
+		p := MustGet(names[int(pi)%len(names)])
+		t1 := int(t1Raw) % 62
+		t2 := t1 + 1
+		g1 := NewSynthetic(p, t1, seed)
+		g2 := NewSynthetic(p, t2, seed)
+		for i := 0; i < 200; i++ {
+			gap, a1 := g1.Next()
+			_, a2 := g2.Next()
+			if gap < 0 || gap > 100000 {
+				return false
+			}
+			// Private regions must not overlap (shared region excluded).
+			if a1.Addr < sharedBase && a2.Addr < sharedBase {
+				if a1.Addr/threadSlotBytes == a2.Addr/threadSlotBytes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package microbank is a simulation library reproducing "Microbank:
+// Architecting Through-Silicon Interposer-Based Main Memory Systems"
+// (Son et al., SC 2014).
+//
+// The paper proposes μbank: partitioning every DRAM bank nW ways along
+// wordlines and nB ways along bitlines into independently operating
+// micro-banks, each with its own row buffer. On a TSI-based memory
+// system this simultaneously multiplies bank-level parallelism and
+// divides activate/precharge energy, and it makes simple open-page
+// policies competitive with prediction-based page management.
+//
+// This package is the public facade over the full simulation stack:
+//
+//   - Config* re-export the DRAM/system configuration presets
+//     (Table I timing/energy, DDR3-PCB / DDR3-TSI / LPDDR-TSI).
+//   - Workload* expose the synthetic benchmark models standing in for
+//     SPEC CPU2006 / SPLASH-2 / PARSEC / TPC workloads.
+//   - Run executes a full-system simulation (cores, caches, MESI
+//     directory, NoC, memory controllers, DRAM) and returns IPC,
+//     power breakdown, and row-buffer/predictor statistics.
+//   - RelativeArea / EnergyPerRead expose the analytic μbank die
+//     area and energy model (Fig. 6).
+//   - Experiment helpers regenerate every table and figure of the
+//     paper's evaluation; see the experiments aliases below and
+//     cmd/microbank for the command-line driver.
+//
+// Quick start:
+//
+//	mem := microbank.MemPreset(microbank.LPDDRTSI, 2, 8) // (nW,nB)=(2,8)
+//	sys := microbank.SingleCore(mem)
+//	spec := microbank.UniformSpec(sys, microbank.Workload("429.mcf"), 200_000, 42)
+//	spec.WarmupInstr = 100_000
+//	res, err := microbank.Run(spec)
+//	if err != nil { ... }
+//	fmt.Println(res.IPC, res.RowHitRate, res.Breakdown.EDPJs())
+package microbank
+
+import (
+	"microbank/internal/config"
+	"microbank/internal/dramarea"
+	"microbank/internal/experiments"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+// Interface identifies a processor-memory interface technology.
+type Interface = config.Interface
+
+// Processor-memory interfaces (§III, §VI-D).
+const (
+	DDR3PCB   = config.DDR3PCB
+	DDR3TSI   = config.DDR3TSI
+	LPDDRTSI  = config.LPDDRTSI
+	HMCSerial = config.HMCSerial
+)
+
+// PagePolicy selects the controller's page-management scheme (§V).
+type PagePolicy = config.PagePolicy
+
+// Page-management policies.
+const (
+	OpenPage       = config.OpenPage
+	ClosePage      = config.ClosePage
+	MinimalistOpen = config.MinimalistOpen
+	PredLocal      = config.PredLocal
+	PredGlobal     = config.PredGlobal
+	PredTournament = config.PredTournament
+	PredPerfect    = config.PredPerfect
+)
+
+// Configuration types.
+type (
+	// MemConfig describes one main-memory configuration (organization,
+	// timing, energy).
+	MemConfig = config.Mem
+	// SystemConfig describes the whole simulated machine.
+	SystemConfig = config.System
+	// Profile parameterizes a synthetic workload.
+	Profile = workload.Profile
+	// Spec describes one simulation run.
+	Spec = system.Spec
+	// Result carries a run's metrics.
+	Result = system.Result
+	// ExperimentOptions tunes the figure-regeneration harnesses.
+	ExperimentOptions = experiments.Options
+	// Grid holds a figure's (nW,nB)-grid data.
+	Grid = experiments.GridData
+)
+
+// MemPreset returns the paper's memory configuration for an interface
+// with (nW, nB) μbank partitioning.
+func MemPreset(iface Interface, nW, nB int) MemConfig { return config.MemPreset(iface, nW, nB) }
+
+// DefaultSystem returns the paper's 64-core CMP over the given memory.
+func DefaultSystem(mem MemConfig) SystemConfig { return config.DefaultSystem(mem) }
+
+// SingleCore returns the single-core, single-controller system used
+// for single-threaded workloads (§VI-A).
+func SingleCore(mem MemConfig) SystemConfig { return config.SingleCore(mem) }
+
+// Workload returns a named benchmark profile (see WorkloadNames).
+// It panics on unknown names; use workload.Get for error handling.
+func Workload(name string) Profile { return workload.MustGet(name) }
+
+// WorkloadNames lists all modeled benchmarks.
+func WorkloadNames() []string { return workload.Names() }
+
+// UniformSpec builds a run of the same profile on every core.
+func UniformSpec(sys SystemConfig, prof Profile, instrPerCore uint64, seed int64) Spec {
+	return system.UniformSpec(sys, prof, instrPerCore, seed)
+}
+
+// Run simulates a Spec to completion.
+func Run(spec Spec) (Result, error) { return system.Run(spec) }
+
+// RelativeArea returns the DRAM die area of an (nW, nB) configuration
+// relative to the unpartitioned baseline (Fig. 6a).
+func RelativeArea(nW, nB int) float64 { return dramarea.RelativeArea(nW, nB) }
+
+// EnergyPerRead returns the absolute energy (pJ) of one 64 B read for
+// an (nW, nB) configuration at activate ratio beta, using the paper's
+// LPDDR-TSI Table I parameters (Fig. 6b).
+func EnergyPerRead(nW, nB int, beta float64) float64 {
+	return dramarea.DefaultEnergyParams().EnergyPerReadPJ(nW, nB, beta)
+}
+
+// Experiment entry points (each regenerates one paper table/figure).
+var (
+	Fig1        = experiments.Fig1
+	Table1      = experiments.Table1
+	Table2      = experiments.Table2
+	Fig6a       = experiments.Fig6a
+	Fig6b       = experiments.Fig6b
+	Fig8        = experiments.Fig8
+	Fig9        = experiments.Fig9
+	Fig8And9    = experiments.Fig8And9
+	Fig10       = experiments.Fig10
+	Fig11       = experiments.Fig11
+	Fig12       = experiments.Fig12
+	Fig13       = experiments.Fig13
+	Fig14       = experiments.Fig14
+	Headline    = experiments.Headline
+	Ablations   = experiments.Ablations
+	RelatedWork = experiments.RelatedWork
+)

@@ -1,0 +1,51 @@
+package microbank_test
+
+import (
+	"testing"
+
+	"microbank"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	mem := microbank.MemPreset(microbank.LPDDRTSI, 2, 8)
+	if mem.Org.MicrobanksPerBank() != 16 {
+		t.Fatalf("μbanks per bank = %d", mem.Org.MicrobanksPerBank())
+	}
+	sys := microbank.SingleCore(mem)
+	sys.Ctrl.PagePolicy = microbank.OpenPage
+	spec := microbank.UniformSpec(sys, microbank.Workload("429.mcf"), 20000, 42)
+	spec.WarmupInstr = 5000
+	res, err := microbank.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 2 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+	if res.Breakdown.EDPJs() <= 0 {
+		t.Fatal("no EDP")
+	}
+}
+
+func TestPublicAPIModels(t *testing.T) {
+	if microbank.RelativeArea(1, 1) != 1.0 {
+		t.Fatal("area baseline")
+	}
+	if microbank.RelativeArea(16, 16) <= 1.2 {
+		t.Fatal("area (16,16)")
+	}
+	e1 := microbank.EnergyPerRead(1, 1, 1.0)
+	e16 := microbank.EnergyPerRead(16, 1, 1.0)
+	if e16 >= e1 {
+		t.Fatalf("energy did not fall with nW: %v vs %v", e16, e1)
+	}
+	if len(microbank.WorkloadNames()) < 15 {
+		t.Fatal("workload table")
+	}
+	if microbank.Table1().NumRows() == 0 || microbank.Fig11().NumRows() == 0 {
+		t.Fatal("analytic experiments broken")
+	}
+	if microbank.Fig6a().At(1, 1) != 1.0 {
+		t.Fatal("Fig6a via facade")
+	}
+}
