@@ -1,0 +1,38 @@
+# Developer checks for the microbank simulator. `make check` is the
+# gate every change should pass: the race detector guards the
+# worker-pool experiment layer, and the bench smoke keeps the engine's
+# zero-alloc hot path honest.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-smoke fmt all-quick
+
+check: build vet race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast allocation regression check: the engine hot paths must stay at
+# 0 allocs/op (see EXPERIMENTS.md for recorded baselines).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -benchtime=100x ./internal/sim/
+
+# Full benchmark sweep (figures + substrates), as recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/ ./internal/system/ .
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every paper table/figure at reduced fidelity.
+all-quick:
+	$(GO) run ./cmd/microbank -exp all -quick

@@ -30,6 +30,7 @@ func main() {
 		cores  = flag.Int("cores", 0, "cores for multicore workloads (0 = default)")
 		quick  = flag.Bool("quick", false, "reduced workload sets and budgets")
 		seed   = flag.Int64("seed", 42, "simulation seed")
+		jobs   = flag.Int("j", 0, "parallel simulations per sweep (0 = all cores); output is identical at any -j")
 		beta   = flag.Float64("beta", 1.0, "activates per column access for fig1/fig6b")
 		wl     = flag.String("workload", "429.mcf", "workload for -exp run")
 		nw     = flag.Int("nw", 1, "wordline partitions for -exp run")
@@ -41,7 +42,8 @@ func main() {
 	)
 	flag.Parse()
 
-	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed}
+	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed,
+		Parallelism: *jobs}
 	svgPrefix = *svgOut
 	start := time.Now()
 	if err := dispatch(*exp, o, *beta, *wl, *nw, *nb, *iface, *policy, *ibit); err != nil {

@@ -80,6 +80,9 @@ type Core struct {
 	gen    workload.Generator
 	access AccessFunc
 	rng    *rand.Rand
+	// runCb is allocated once so the per-cycle continuation reschedule
+	// does not allocate a closure per event.
+	runCb func(*sim.Engine)
 
 	// Per-instruction rings, indexed by instruction number % ROB.
 	complete []sim.Time // completion time; sim.Never while unresolved
@@ -133,12 +136,13 @@ func New(eng *sim.Engine, p Params, gen workload.Generator, access AccessFunc, o
 		commit:   make([]sim.Time, p.ROB),
 		onFinish: onFinish,
 	}
+	c.runCb = func(e *sim.Engine) { c.run(e.Now()) }
 	return c
 }
 
 // Start begins execution at the current simulation time.
 func (c *Core) Start() {
-	c.eng.Schedule(c.eng.Now(), func(e *sim.Engine) { c.run(e.Now()) })
+	c.eng.Schedule(c.eng.Now(), c.runCb)
 }
 
 // Kick resumes a core stalled on a cache rejection. The system layer
@@ -146,8 +150,7 @@ func (c *Core) Start() {
 func (c *Core) Kick() {
 	if c.waitRetry && !c.finished {
 		c.waitRetry = false
-		now := c.eng.Now()
-		c.eng.Schedule(now, func(e *sim.Engine) { c.run(e.Now()) })
+		c.eng.Schedule(c.eng.Now(), c.runCb)
 	}
 }
 
@@ -368,7 +371,7 @@ func (c *Core) scheduleRun(at sim.Time) {
 		return
 	}
 	c.contScheduled = true
-	c.eng.Schedule(at, func(e *sim.Engine) { c.run(e.Now()) })
+	c.eng.Schedule(at, c.runCb)
 }
 
 // unissue rolls back an issue-slot reservation after a rejected access.

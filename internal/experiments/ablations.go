@@ -19,6 +19,7 @@ import (
 
 	"microbank/internal/config"
 	"microbank/internal/stats"
+	"microbank/internal/system"
 	"microbank/internal/workload"
 )
 
@@ -35,18 +36,21 @@ type AblationRow struct {
 // multiprogrammed mix over one busy channel.
 func AblationScheduler(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
-	var rows []AblationRow
-	var base float64
-	for _, sched := range []config.Scheduler{config.SchedFCFS, config.SchedFRFCFS, config.SchedPARBS} {
-		sched := sched
-		res, err := runMulti(workload.MixHigh().ForCore, config.LPDDRTSI, 1, 1,
+	scheds := []config.Scheduler{config.SchedFCFS, config.SchedFRFCFS, config.SchedPARBS}
+	results, err := mapRuns(o, scheds, func(sched config.Scheduler) (system.Result, error) {
+		return runMulti(workload.MixHigh().ForCore, config.LPDDRTSI, 1, 1,
 			func(s *config.System) {
 				s.Ctrl.Scheduler = sched
 				s.Mem.Org.Channels = 2 // concentrate interference
 			}, o)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base float64
+	for i, sched := range scheds {
+		res := results[i]
 		if base == 0 {
 			base = res.IPC
 		}
@@ -64,30 +68,40 @@ func AblationScheduler(o Options) ([]AblationRow, error) {
 // the §V observation that μbanks starve queue-inspecting policies.
 func AblationQueueDepth(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
-	var rows []AblationRow
-	var base float64
+	type job struct {
+		cfg   [2]int
+		depth int
+	}
+	var jobs []job
 	for _, cfg := range [][2]int{{1, 1}, {2, 8}} {
 		for _, depth := range []int{8, 16, 32, 64} {
-			depth := depth
-			res, err := runSingle("TPC-H", config.LPDDRTSI, cfg[0], cfg[1],
-				func(s *config.System) { s.Ctrl.QueueDepth = depth }, o)
-			if err != nil {
-				return nil, err
-			}
-			if base == 0 {
-				base = res.IPC
-			}
-			occ := 0.0
-			if res.RuntimePS > 0 {
-				occ = res.Mem.QueueOccIntegral / float64(res.RuntimePS)
-			}
-			rows = append(rows, AblationRow{
-				Study:   "queue-depth",
-				Variant: fmt.Sprintf("(%d,%d) depth=%d", cfg[0], cfg[1], depth),
-				IPC:     res.IPC, RelIPC: res.IPC / base,
-				Extra: occ,
-			})
+			jobs = append(jobs, job{cfg, depth})
 		}
+	}
+	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+		return runSingle("TPC-H", config.LPDDRTSI, j.cfg[0], j.cfg[1],
+			func(s *config.System) { s.Ctrl.QueueDepth = j.depth }, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base float64
+	for i, j := range jobs {
+		res := results[i]
+		if base == 0 {
+			base = res.IPC
+		}
+		occ := 0.0
+		if res.RuntimePS > 0 {
+			occ = res.Mem.QueueOccIntegral / float64(res.RuntimePS)
+		}
+		rows = append(rows, AblationRow{
+			Study:   "queue-depth",
+			Variant: fmt.Sprintf("(%d,%d) depth=%d", j.cfg[0], j.cfg[1], j.depth),
+			IPC:     res.IPC, RelIPC: res.IPC / base,
+			Extra: occ,
+		})
 	}
 	return rows, nil
 }
@@ -96,18 +110,21 @@ func AblationQueueDepth(o Options) ([]AblationRow, error) {
 // wordline-heavy configuration on 429.mcf.
 func AblationActWindow(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
+	variants := []bool{false, true}
+	results, err := mapRuns(o, variants, func(noScale bool) (system.Result, error) {
+		return runSingle("429.mcf", config.LPDDRTSI, 16, 1,
+			func(s *config.System) { s.Mem.Timing.NoActWindowScaling = noScale }, o)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	var base float64
-	for _, noScale := range []bool{false, true} {
-		noScale := noScale
+	for i, noScale := range variants {
+		res := results[i]
 		name := "tRRD/tFAW scaled by nW (default)"
 		if noScale {
 			name = "unscaled activation windows"
-		}
-		res, err := runSingle("429.mcf", config.LPDDRTSI, 16, 1,
-			func(s *config.System) { s.Mem.Timing.NoActWindowScaling = noScale }, o)
-		if err != nil {
-			return nil, err
 		}
 		if base == 0 {
 			base = res.IPC
@@ -127,26 +144,35 @@ func AblationActWindow(o Options) ([]AblationRow, error) {
 // under the hash.
 func AblationBankHash(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
-	var rows []AblationRow
-	var base float64
+	type job struct {
+		cfg  [2]int
+		hash bool
+	}
+	var jobs []job
 	for _, cfg := range [][2]int{{1, 1}, {2, 8}} {
 		for _, hash := range []bool{false, true} {
-			hash := hash
-			name := fmt.Sprintf("(%d,%d) xor=%v", cfg[0], cfg[1], hash)
-			res, err := runSingle("TPC-H", config.LPDDRTSI, cfg[0], cfg[1],
-				func(s *config.System) { s.Ctrl.XORBankHash = hash }, o)
-			if err != nil {
-				return nil, err
-			}
-			if base == 0 {
-				base = res.IPC
-			}
-			rows = append(rows, AblationRow{
-				Study: "bank-hash", Variant: name,
-				IPC: res.IPC, RelIPC: res.IPC / base,
-				Extra: res.RowHitRate,
-			})
+			jobs = append(jobs, job{cfg, hash})
 		}
+	}
+	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+		return runSingle("TPC-H", config.LPDDRTSI, j.cfg[0], j.cfg[1],
+			func(s *config.System) { s.Ctrl.XORBankHash = j.hash }, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base float64
+	for i, j := range jobs {
+		res := results[i]
+		if base == 0 {
+			base = res.IPC
+		}
+		rows = append(rows, AblationRow{
+			Study: "bank-hash", Variant: fmt.Sprintf("(%d,%d) xor=%v", j.cfg[0], j.cfg[1], j.hash),
+			IPC: res.IPC, RelIPC: res.IPC / base,
+			Extra: res.RowHitRate,
+		})
 	}
 	return rows, nil
 }
@@ -155,34 +181,43 @@ func AblationBankHash(o Options) ([]AblationRow, error) {
 // μbanks.
 func AblationRefresh(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
-	var rows []AblationRow
-	var base float64
+	type job struct {
+		cfg  [2]int
+		mode string
+	}
+	var jobs []job
 	for _, cfg := range [][2]int{{1, 1}, {4, 4}} {
 		for _, mode := range []string{"all-bank", "per-bank", "off"} {
-			mode := mode
-			name := fmt.Sprintf("(%d,%d) refresh=%s", cfg[0], cfg[1], mode)
-			res, err := runSingle("470.lbm", config.LPDDRTSI, cfg[0], cfg[1],
-				func(s *config.System) {
-					switch mode {
-					case "off":
-						s.Mem.Timing.TREFI = 0
-						s.Mem.Timing.TRFC = 0
-					case "per-bank":
-						s.Mem.Timing.PerBankRefresh = true
-					}
-				}, o)
-			if err != nil {
-				return nil, err
-			}
-			if base == 0 {
-				base = res.IPC
-			}
-			rows = append(rows, AblationRow{
-				Study: "refresh", Variant: name,
-				IPC: res.IPC, RelIPC: res.IPC / base,
-				Extra: float64(res.Mem.Energy.Refreshes),
-			})
+			jobs = append(jobs, job{cfg, mode})
 		}
+	}
+	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+		return runSingle("470.lbm", config.LPDDRTSI, j.cfg[0], j.cfg[1],
+			func(s *config.System) {
+				switch j.mode {
+				case "off":
+					s.Mem.Timing.TREFI = 0
+					s.Mem.Timing.TRFC = 0
+				case "per-bank":
+					s.Mem.Timing.PerBankRefresh = true
+				}
+			}, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base float64
+	for i, j := range jobs {
+		res := results[i]
+		if base == 0 {
+			base = res.IPC
+		}
+		rows = append(rows, AblationRow{
+			Study: "refresh", Variant: fmt.Sprintf("(%d,%d) refresh=%s", j.cfg[0], j.cfg[1], j.mode),
+			IPC: res.IPC, RelIPC: res.IPC / base,
+			Extra: float64(res.Mem.Energy.Refreshes),
+		})
 	}
 	return rows, nil
 }

@@ -11,9 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"microbank/internal/config"
+	"microbank/internal/parallel"
 	"microbank/internal/stats"
 	"microbank/internal/system"
 	"microbank/internal/workload"
@@ -32,6 +35,12 @@ type Options struct {
 	// group) for fast runs such as benchmarks.
 	Quick bool
 	Seed  int64
+	// Parallelism bounds how many independent simulations run
+	// concurrently (the -j flag). Zero or negative selects
+	// runtime.GOMAXPROCS(0). Every run takes an explicit seed and
+	// results are reduced in job order, so output is byte-identical
+	// at every width.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,11 +138,15 @@ type GridData struct {
 // At returns the normalized value at (nW, nB).
 func (g *GridData) At(nW, nB int) float64 { return g.Rel[[2]int{nW, nB}] }
 
-// Best returns the grid point with the highest value.
+// Best returns the grid point with the highest value. Cells are
+// scanned in fixed Axis order, so ties resolve to the smallest
+// (nB, nW) deterministically rather than by map iteration order.
 func (g *GridData) Best() (nW, nB int, val float64) {
-	for k, v := range g.Rel {
-		if v > val {
-			nW, nB, val = k[0], k[1], v
+	for _, b := range Axis {
+		for _, w := range Axis {
+			if v := g.At(w, b); v > val {
+				nW, nB, val = w, b, v
+			}
 		}
 	}
 	return
@@ -159,19 +172,20 @@ func (g *GridData) Table(title string) *stats.Table {
 // CSV renders the grid as comma-separated values with an nB row header
 // and nW column header, for plotting tools.
 func (g *GridData) CSV() string {
-	out := "nB\\nW"
+	var out strings.Builder
+	out.WriteString("nB\\nW")
 	for _, w := range Axis {
-		out += fmt.Sprintf(",%d", w)
+		fmt.Fprintf(&out, ",%d", w)
 	}
-	out += "\n"
+	out.WriteByte('\n')
 	for _, b := range Axis {
-		out += fmt.Sprint(b)
+		fmt.Fprintf(&out, "%d", b)
 		for _, w := range Axis {
-			out += fmt.Sprintf(",%.4f", g.At(w, b))
+			fmt.Fprintf(&out, ",%.4f", g.At(w, b))
 		}
-		out += "\n"
+		out.WriteByte('\n')
 	}
-	return out
+	return out.String()
 }
 
 // cellMetrics captures the per-run values grids are built from.
@@ -181,20 +195,40 @@ type cellMetrics struct {
 	result system.Result
 }
 
-// runGridCells runs one workload over the full partition grid.
+// mapRuns fans independent simulation runs out over o.Parallelism
+// workers. Results come back in job order, so callers reduce them with
+// the exact arithmetic order of the serial loops this layer replaced —
+// parallel output stays byte-identical to serial.
+func mapRuns[J any](o Options, jobs []J, run func(J) (system.Result, error)) ([]system.Result, error) {
+	return parallel.Map(context.Background(), o.Parallelism, jobs,
+		func(_ context.Context, j J) (system.Result, error) { return run(j) })
+}
+
+// runGridCells runs one workload over the full partition grid, fanning
+// the 25 independent cells out over the worker pool.
 func runGridCells(name string, o Options) (map[[2]int]cellMetrics, error) {
-	cells := map[[2]int]cellMetrics{}
+	jobs := make([][2]int, 0, len(Axis)*len(Axis))
 	for _, nB := range Axis {
 		for _, nW := range Axis {
-			res, err := runSingle(name, config.LPDDRTSI, nW, nB, nil, o)
-			if err != nil {
-				return nil, fmt.Errorf("%s (%d,%d): %w", name, nW, nB, err)
-			}
-			cells[[2]int{nW, nB}] = cellMetrics{
-				ipc:    res.IPC,
-				edpJs:  res.Breakdown.EDPJs(),
-				result: res,
-			}
+			jobs = append(jobs, [2]int{nW, nB})
+		}
+	}
+	results, err := mapRuns(o, jobs, func(cfg [2]int) (system.Result, error) {
+		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o)
+		if rerr != nil {
+			return system.Result{}, fmt.Errorf("%s (%d,%d): %w", name, cfg[0], cfg[1], rerr)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[[2]int]cellMetrics, len(jobs))
+	for i, cfg := range jobs {
+		cells[cfg] = cellMetrics{
+			ipc:    results[i].IPC,
+			edpJs:  results[i].Breakdown.EDPJs(),
+			result: results[i],
 		}
 	}
 	return cells, nil
@@ -219,11 +253,4 @@ func gridsFor(set string, o Options) (ipc, invEDP *GridData, err error) {
 		}
 	}
 	return ipc, invEDP, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

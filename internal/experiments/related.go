@@ -27,6 +27,7 @@ import (
 	"microbank/internal/dramarea"
 	"microbank/internal/sim"
 	"microbank/internal/stats"
+	"microbank/internal/system"
 )
 
 // RelatedRow is one design point of the related-work comparison.
@@ -56,22 +57,37 @@ func RelatedWork(o Options) ([]RelatedRow, error) {
 		{Design: "HMC-serial (1,1)", Interface: config.HMCSerial, NW: 1, NB: 1},
 	}
 	names := specGroup("spec-high", o.Quick)
+	// One job per (benchmark, design point), enumerated benchmark-outer
+	// to match the serial reduction order.
+	type job struct {
+		name string
+		pt   RelatedRow
+	}
+	var jobs []job
+	for _, name := range names {
+		for _, pt := range points {
+			jobs = append(jobs, job{name, pt})
+		}
+	}
+	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+		mut := func(*config.System) {}
+		if k := j.pt.rankSubset; k > 1 {
+			mut = func(s *config.System) {
+				s.Mem.Timing.TBL *= sim.Time(k)
+				s.Mem.Timing.TCCD *= sim.Time(k)
+			}
+		}
+		return runSingle(j.name, j.pt.Interface, j.pt.NW, j.pt.NB, mut, o)
+	})
+	if err != nil {
+		return nil, err
+	}
 	type agg struct{ ipc, edp float64 }
 	sums := make([]agg, len(points))
-	for _, name := range names {
+	for ni := range names {
 		var base agg
-		for i, pt := range points {
-			mut := func(*config.System) {}
-			if k := pt.rankSubset; k > 1 {
-				mut = func(s *config.System) {
-					s.Mem.Timing.TBL *= sim.Time(k)
-					s.Mem.Timing.TCCD *= sim.Time(k)
-				}
-			}
-			res, err := runSingle(name, pt.Interface, pt.NW, pt.NB, mut, o)
-			if err != nil {
-				return nil, err
-			}
+		for i := range points {
+			res := results[ni*len(points)+i]
 			if i == 0 {
 				base = agg{ipc: res.IPC, edp: res.Breakdown.EDPJs()}
 			}

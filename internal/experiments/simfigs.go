@@ -62,13 +62,52 @@ type Fig10Row struct {
 var fig10Single = []string{"429.mcf", "450.soplex", "spec-high", "spec-all"}
 var fig10Multi = []string{"mix-high", "mix-blend", "RADIX", "FFT"}
 
+// fig10Job is one simulation of the Fig. 10 sweep: a single-core
+// benchmark run when name is set, otherwise a multicore set run.
+type fig10Job struct {
+	set  string
+	name string
+	cfg  [2]int
+}
+
+func (j fig10Job) run(o Options) (system.Result, error) {
+	if j.name == "" {
+		return runMulti(multiProfile(j.set), config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o)
+	}
+	return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o)
+}
+
 // Fig10 evaluates the representative μbank configurations on the
 // paper's Fig. 10 workloads, reporting relative IPC/EDP and the power
-// breakdown; each workload is normalized to its own (1,1) run.
+// breakdown; each workload is normalized to its own (1,1) run. All
+// runs fan out over the worker pool; the reduction consumes them in
+// enumeration order so the arithmetic matches the serial loops.
 func Fig10(o Options) ([]Fig10Row, error) {
 	o = o.withDefaults()
-	var rows []Fig10Row
+	var jobs []fig10Job
+	for _, set := range fig10Single {
+		for _, name := range specGroup(set, o.Quick) {
+			jobs = append(jobs, fig10Job{set: set, name: name, cfg: [2]int{1, 1}})
+			for _, cfg := range RepresentativeConfigs {
+				if cfg != [2]int{1, 1} {
+					jobs = append(jobs, fig10Job{set: set, name: name, cfg: cfg})
+				}
+			}
+		}
+	}
+	for _, set := range fig10Multi {
+		for _, cfg := range RepresentativeConfigs {
+			jobs = append(jobs, fig10Job{set: set, cfg: cfg})
+		}
+	}
+	results, err := mapRuns(o, jobs, func(j fig10Job) (system.Result, error) { return j.run(o) })
+	if err != nil {
+		return nil, err
+	}
 
+	next := 0
+	take := func() system.Result { r := results[next]; next++; return r }
+	var rows []Fig10Row
 	for _, set := range fig10Single {
 		names := specGroup(set, o.Quick)
 		// Per-config accumulators (normalized per app, then averaged).
@@ -80,18 +119,12 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		for _, cfg := range RepresentativeConfigs {
 			sums[cfg] = &acc{}
 		}
-		for _, name := range names {
-			base, err := runSingle(name, config.LPDDRTSI, 1, 1, nil, o)
-			if err != nil {
-				return nil, err
-			}
+		for range names {
+			base := take()
 			for _, cfg := range RepresentativeConfigs {
 				res := base
 				if cfg != [2]int{1, 1} {
-					res, err = runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o)
-					if err != nil {
-						return nil, err
-					}
+					res = take()
 				}
 				a := sums[cfg]
 				n := float64(len(names))
@@ -117,13 +150,9 @@ func Fig10(o Options) ([]Fig10Row, error) {
 	}
 
 	for _, set := range fig10Multi {
-		profileFor := multiProfile(set)
 		var base system.Result
 		for _, cfg := range RepresentativeConfigs {
-			res, err := runMulti(profileFor, config.LPDDRTSI, cfg[0], cfg[1], nil, o)
-			if err != nil {
-				return nil, err
-			}
+			res := take()
 			if cfg == [2]int{1, 1} {
 				base = res
 			}
@@ -213,6 +242,47 @@ func Fig12(o Options, sets ...string) ([]Fig12Row, error) {
 	if len(sets) == 0 {
 		sets = []string{"spec-all", "spec-high"}
 	}
+	// One job per (benchmark, config, iB, policy) point plus one
+	// baseline job per benchmark, enumerated in serial-loop order.
+	type fig12Job struct {
+		name string
+		cfg  [2]int
+		iB   int
+		pol  config.PagePolicy
+		base bool
+	}
+	var jobs []fig12Job
+	for _, set := range sets {
+		for _, name := range specGroup(set, o.Quick) {
+			jobs = append(jobs, fig12Job{name: name, base: true})
+			for _, cfg := range RepresentativeConfigs {
+				for _, iB := range fig12IBs(cfg[0], cfg[1], o.Quick) {
+					for _, pol := range []config.PagePolicy{config.OpenPage, config.ClosePage} {
+						jobs = append(jobs, fig12Job{name: name, cfg: cfg, iB: iB, pol: pol})
+					}
+				}
+			}
+		}
+	}
+	results, err := mapRuns(o, jobs, func(j fig12Job) (system.Result, error) {
+		if j.base {
+			return runSingle(j.name, config.LPDDRTSI, 1, 1, func(s *config.System) {
+				s.Ctrl.PagePolicy = config.OpenPage
+				s.Ctrl.InterleaveBit = 13
+			}, o)
+		}
+		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1],
+			func(s *config.System) {
+				s.Ctrl.PagePolicy = j.pol
+				s.Ctrl.InterleaveBit = j.iB
+			}, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	take := func() system.Result { r := results[next]; next++; return r }
 	var rows []Fig12Row
 	for _, set := range sets {
 		names := specGroup(set, o.Quick)
@@ -222,26 +292,12 @@ func Fig12(o Options, sets ...string) ([]Fig12Row, error) {
 			pol config.PagePolicy
 		}
 		sums := map[key]*[2]float64{} // {relIPC, relInvEDP}
-		for _, name := range names {
-			base, err := runSingle(name, config.LPDDRTSI, 1, 1, func(s *config.System) {
-				s.Ctrl.PagePolicy = config.OpenPage
-				s.Ctrl.InterleaveBit = 13
-			}, o)
-			if err != nil {
-				return nil, err
-			}
+		for range names {
+			base := take()
 			for _, cfg := range RepresentativeConfigs {
 				for _, iB := range fig12IBs(cfg[0], cfg[1], o.Quick) {
 					for _, pol := range []config.PagePolicy{config.OpenPage, config.ClosePage} {
-						iB, pol := iB, pol
-						res, err := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1],
-							func(s *config.System) {
-								s.Ctrl.PagePolicy = pol
-								s.Ctrl.InterleaveBit = iB
-							}, o)
-						if err != nil {
-							return nil, err
-						}
+						res := take()
 						k := key{cfg, iB, pol}
 						if sums[k] == nil {
 							sums[k] = &[2]float64{}
@@ -314,28 +370,57 @@ func fig13Workloads(quick bool) []string {
 // workloads run on the multicore system; SPEC sets on a single core.
 func Fig13(o Options) ([]Fig13Row, error) {
 	o = o.withDefaults()
+	// One job per (workload, config, policy) multicore run, or per
+	// member benchmark for the single-core SPEC sets.
+	type fig13Job struct {
+		w    string
+		name string // single benchmark; "" selects a multicore run
+		cfg  [2]int
+		pol  config.PagePolicy
+	}
+	fig13Multi := func(w string) bool {
+		return w == "canneal" || w == "RADIX" || w == "mix-high" || w == "mix-blend"
+	}
+	var jobs []fig13Job
+	for _, w := range fig13Workloads(o.Quick) {
+		for _, cfg := range fig13Configs {
+			for _, pol := range Fig13Policies {
+				if fig13Multi(w) {
+					jobs = append(jobs, fig13Job{w: w, cfg: cfg, pol: pol})
+					continue
+				}
+				for _, name := range specGroup(w, o.Quick) {
+					jobs = append(jobs, fig13Job{w: w, name: name, cfg: cfg, pol: pol})
+				}
+			}
+		}
+	}
+	results, err := mapRuns(o, jobs, func(j fig13Job) (system.Result, error) {
+		mut := func(s *config.System) { s.Ctrl.PagePolicy = j.pol }
+		if j.name == "" {
+			return runMulti(multiProfile(j.w), config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o)
+		}
+		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	take := func() system.Result { r := results[next]; next++; return r }
 	var rows []Fig13Row
 	for _, w := range fig13Workloads(o.Quick) {
-		multi := w == "canneal" || w == "RADIX" || w == "mix-high" || w == "mix-blend"
 		for _, cfg := range fig13Configs {
 			var baseIPC float64
 			for _, pol := range Fig13Policies {
-				pol := pol
-				mut := func(s *config.System) { s.Ctrl.PagePolicy = pol }
 				var ipc, hit float64
-				if multi {
-					res, err := runMulti(multiProfile(w), config.LPDDRTSI, cfg[0], cfg[1], mut, o)
-					if err != nil {
-						return nil, err
-					}
+				if fig13Multi(w) {
+					res := take()
 					ipc, hit = res.IPC, res.PredHitRate
 				} else {
 					names := specGroup(w, o.Quick)
-					for _, name := range names {
-						res, err := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], mut, o)
-						if err != nil {
-							return nil, err
-						}
+					for range names {
+						res := take()
 						ipc += res.IPC / float64(len(names))
 						hit += res.PredHitRate / float64(len(names))
 					}
@@ -395,6 +480,37 @@ func fig14Workloads(quick bool) []string {
 // Fig14 compares the three processor-memory interfaces without μbanks.
 func Fig14(o Options) ([]Fig14Row, error) {
 	o = o.withDefaults()
+	// One job per (workload, interface) multicore run, or per member
+	// benchmark for the single-core spec-high panel.
+	type fig14Job struct {
+		w     string
+		name  string // single benchmark; "" selects a multicore run
+		iface config.Interface
+	}
+	var jobs []fig14Job
+	for _, w := range fig14Workloads(o.Quick) {
+		for _, iface := range config.Interfaces() {
+			if w != "spec-high" {
+				jobs = append(jobs, fig14Job{w: w, iface: iface})
+				continue
+			}
+			for _, name := range specGroup(w, o.Quick) {
+				jobs = append(jobs, fig14Job{w: w, name: name, iface: iface})
+			}
+		}
+	}
+	results, err := mapRuns(o, jobs, func(j fig14Job) (system.Result, error) {
+		if j.name == "" {
+			return runMulti(multiProfile(j.w), j.iface, 1, 1, nil, o)
+		}
+		return runSingle(j.name, j.iface, 1, 1, nil, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	take := func() system.Result { r := results[next]; next++; return r }
 	var rows []Fig14Row
 	for _, w := range fig14Workloads(o.Quick) {
 		multi := w != "spec-high"
@@ -403,10 +519,7 @@ func Fig14(o Options) ([]Fig14Row, error) {
 			var row Fig14Row
 			row.Workload, row.Interface = w, iface
 			if multi {
-				res, err := runMulti(multiProfile(w), iface, 1, 1, nil, o)
-				if err != nil {
-					return nil, err
-				}
+				res := take()
 				row.IPC = res.IPC
 				row.ProcW, row.ActPreW, row.StaticW, row.RdWrW, row.IOW =
 					res.Breakdown.ProcessorW(), res.Breakdown.ActPreW(),
@@ -421,11 +534,8 @@ func Fig14(o Options) ([]Fig14Row, error) {
 			} else {
 				names := specGroup(w, o.Quick)
 				var edp float64
-				for _, name := range names {
-					res, err := runSingle(name, iface, 1, 1, nil, o)
-					if err != nil {
-						return nil, err
-					}
+				for range names {
+					res := take()
 					n := float64(len(names))
 					row.IPC += res.IPC / n
 					row.ProcW += res.Breakdown.ProcessorW() / n
@@ -478,16 +588,27 @@ type HeadlineResult struct {
 func Headline(o Options) (HeadlineResult, error) {
 	o = o.withDefaults()
 	names := specGroup("spec-high", o.Quick)
-	var out HeadlineResult
+	// Two jobs per benchmark: the DDR3-PCB baseline and the μbank run.
+	type headlineJob struct {
+		name  string
+		ubank bool
+	}
+	var jobs []headlineJob
 	for _, name := range names {
-		base, err := runSingle(name, config.DDR3PCB, 1, 1, nil, o)
-		if err != nil {
-			return out, err
+		jobs = append(jobs, headlineJob{name: name}, headlineJob{name: name, ubank: true})
+	}
+	results, err := mapRuns(o, jobs, func(j headlineJob) (system.Result, error) {
+		if j.ubank {
+			return runSingle(j.name, config.LPDDRTSI, 2, 8, nil, o)
 		}
-		ub, err := runSingle(name, config.LPDDRTSI, 2, 8, nil, o)
-		if err != nil {
-			return out, err
-		}
+		return runSingle(j.name, config.DDR3PCB, 1, 1, nil, o)
+	})
+	var out HeadlineResult
+	if err != nil {
+		return out, err
+	}
+	for i := range names {
+		base, ub := results[2*i], results[2*i+1]
 		n := float64(len(names))
 		out.IPCGain += ub.IPC / base.IPC / n
 		out.InvEDPGain += base.Breakdown.EDPJs() / ub.Breakdown.EDPJs() / n

@@ -53,7 +53,7 @@ type decision struct {
 type bankCtl struct {
 	wantClose bool // close decided; PRE is a schedulable candidate
 	dec       decision
-	minEvent  *sim.Event // pending minimalist-open timeout
+	minEvent  sim.Event // pending minimalist-open timeout
 	lastUse   sim.Time
 }
 
@@ -114,7 +114,11 @@ type Controller struct {
 
 	seq           uint64
 	evalScheduled bool
-	wake          *sim.Event
+	wake          sim.Event
+	// kickCb/wakeCb are allocated once in New so the hot kick/wake
+	// paths schedule without a fresh closure per event.
+	kickCb func(*sim.Engine)
+	wakeCb func(*sim.Engine)
 
 	stats        Stats
 	lastOccCheck sim.Time
@@ -145,6 +149,14 @@ func New(eng *sim.Engine, mem config.Mem, ctl config.Ctrl, threads int) *Control
 		cfg:    ctl,
 		banks:  make([]bankCtl, ch.NumBanks()),
 		pred:   newPagePredictor(ch.NumBanks(), threads),
+	}
+	c.kickCb = func(e *sim.Engine) {
+		c.evalScheduled = false
+		c.eval(e.Now())
+	}
+	c.wakeCb = func(e *sim.Engine) {
+		c.wake = sim.Event{}
+		c.eval(e.Now())
 	}
 	return c
 }
@@ -228,10 +240,7 @@ func (c *Controller) kick() {
 		return
 	}
 	c.evalScheduled = true
-	c.eng.ScheduleP(c.eng.Now(), 2, func(e *sim.Engine) {
-		c.evalScheduled = false
-		c.eval(e.Now())
-	})
+	c.eng.ScheduleP(c.eng.Now(), 2, c.kickCb)
 }
 
 // window returns the scheduling window (oldest QueueDepth requests).
@@ -256,10 +265,8 @@ type candidate struct {
 // eval issues every command that can issue now, then schedules a wakeup
 // at the earliest future candidate.
 func (c *Controller) eval(now sim.Time) {
-	if c.wake != nil {
-		c.eng.Cancel(c.wake)
-		c.wake = nil
-	}
+	c.eng.Cancel(c.wake)
+	c.wake = sim.Event{}
 	for {
 		// Catch up any overdue refreshes (cheap no-op when none due).
 		for c.ch.MaybeRefresh(now) {
@@ -288,16 +295,11 @@ func (c *Controller) scheduleWake(at sim.Time) {
 	if at <= c.eng.Now() {
 		at = c.eng.Now() + 1
 	}
-	if c.wake != nil && c.wake.When() <= at && !c.wake.Cancelled() {
+	if c.wake.Pending() && c.wake.When() <= at {
 		return
 	}
-	if c.wake != nil {
-		c.eng.Cancel(c.wake)
-	}
-	c.wake = c.eng.ScheduleP(at, 2, func(e *sim.Engine) {
-		c.wake = nil
-		c.eval(e.Now())
-	})
+	c.eng.Cancel(c.wake)
+	c.wake = c.eng.ScheduleP(at, 2, c.wakeCb)
 }
 
 // formBatch marks a new PAR-BS batch when the previous one drained:
@@ -605,7 +607,7 @@ func (c *Controller) armMinimalist(bank int, now sim.Time) {
 	b := &c.banks[bank]
 	trc := c.ch.Config().Timing.TRC()
 	b.minEvent = c.eng.Schedule(now+trc, func(e *sim.Engine) {
-		b.minEvent = nil
+		b.minEvent = sim.Event{}
 		if open, _ := c.ch.Open(bank); open && b.lastUse <= e.Now()-trc {
 			c.markClose(bank)
 			c.kick()
@@ -624,10 +626,8 @@ func (c *Controller) markClose(bank int) {
 
 func (c *Controller) cancelMinimalist(bank int) {
 	b := &c.banks[bank]
-	if b.minEvent != nil {
-		c.eng.Cancel(b.minEvent)
-		b.minEvent = nil
-	}
+	c.eng.Cancel(b.minEvent)
+	b.minEvent = sim.Event{}
 }
 
 // Drained reports whether no requests remain queued.

@@ -1,0 +1,116 @@
+// Package parallel provides the bounded worker-pool primitives the
+// experiment layer fans independent simulations out with. Results are
+// assembled in input order, so a parallel sweep produces output
+// byte-identical to the serial loop it replaces; each simulation takes
+// an explicit seed, so runs stay reproducible under any schedule.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Width returns the effective worker count for a requested width n:
+// n itself when positive, otherwise runtime.GOMAXPROCS(0).
+func Width(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies f to every element of items using at most Width(width)
+// concurrent workers and returns the results in input order. The first
+// error cancels the derived context and stops workers from starting
+// further items; when several items fail, the error of the
+// lowest-index failure is returned (matching what a serial loop would
+// have reported). On error the partial results are discarded.
+func Map[T, R any](ctx context.Context, width int, items []T,
+	f func(context.Context, T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	w := Width(width)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, exact serial error order.
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := f(ctx, items[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(w)
+	for range w {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				r, err := f(wctx, items[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Sweep runs f(i) for every i in [0, n) using at most Width(width)
+// concurrent workers. It is Map over an index range for sweeps whose
+// stages write into caller-owned storage.
+func Sweep(ctx context.Context, width, n int, f func(ctx context.Context, i int) error) error {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	_, err := Map(ctx, width, idx, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, f(ctx, i)
+	})
+	return err
+}

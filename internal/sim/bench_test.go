@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleStep measures the schedule-then-fire churn of
+// a single in-flight event, the engine's steady-state hot path.
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel path
+// (the controller's wake-event reprogramming pattern).
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+1, fn)
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkEngineDeepQueue keeps a deep pending population (as a busy
+// multicore run does) so heap reheapification dominates.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	const depth = 1024
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+depth, fn)
+		e.Step()
+	}
+}

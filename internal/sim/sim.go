@@ -6,6 +6,13 @@
 // interface clocks can coexist without rounding. Events scheduled for
 // the same instant fire in the order of their (priority, sequence)
 // pair, making runs bit-for-bit reproducible.
+//
+// The engine recycles event records through an internal free list
+// (fired and cancelled events are reused by later Schedule calls), so
+// steady-state scheduling does not allocate. Event handles carry a
+// generation number, which makes operations on already-fired or
+// already-cancelled handles safe no-ops even after the record has been
+// reused.
 package sim
 
 import (
@@ -28,23 +35,43 @@ const (
 // simulation instant. It marks idle resources.
 const Never Time = ^Time(0)
 
-// Event is a scheduled callback. The callback receives the engine so it
-// can schedule follow-up events.
-type Event struct {
+// event is the engine-owned record of a scheduled callback. Records
+// are recycled: gen increments every time the record is retired, which
+// invalidates any Event handles still pointing at it.
+type event struct {
 	when     Time
 	priority int
 	seq      uint64
+	gen      uint64
 	fn       func(*Engine)
 	index    int // heap index, -1 once popped or cancelled
 }
 
-// When returns the instant the event is scheduled to fire.
-func (e *Event) When() Time { return e.when }
+// Event is a handle to a scheduled callback, returned by Schedule and
+// friends. The zero Event is a valid "no event" handle: Cancel on it
+// is a no-op and Pending reports false.
+type Event struct {
+	e   *event
+	gen uint64
+}
 
-// Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.index == -1 && e.fn == nil }
+// Pending reports whether the event is still scheduled to fire.
+func (ev Event) Pending() bool { return ev.e != nil && ev.gen == ev.e.gen }
 
-type eventHeap []*Event
+// When returns the instant the event is scheduled to fire, or Never if
+// the event already fired, was cancelled, or is the zero handle.
+func (ev Event) When() Time {
+	if !ev.Pending() {
+		return Never
+	}
+	return ev.e.when
+}
+
+// Cancelled reports whether the event was retired (fired or removed)
+// after being scheduled. The zero handle reports false.
+func (ev Event) Cancelled() bool { return ev.e != nil && ev.gen != ev.e.gen }
+
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 
@@ -65,7 +92,7 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -80,11 +107,21 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// initialHeapCap pre-sizes the event queue so a run reaches its
+// steady-state pending-event count without regrowing the heap slice.
+const initialHeapCap = 512
+
+// eventBlock is how many event records one free-list refill allocates;
+// amortizing record allocation over blocks keeps allocs/op near zero
+// even while the pending-event population is still growing.
+const eventBlock = 128
+
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct one with NewEngine.
 type Engine struct {
 	now    Time
 	queue  eventHeap
+	free   []*event // retired records awaiting reuse
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -92,7 +129,30 @@ type Engine struct {
 
 // NewEngine returns an engine with time set to zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: make(eventHeap, 0, initialHeapCap)}
+}
+
+// alloc returns a fresh or recycled event record.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	block := make([]event, eventBlock)
+	for i := range block[1:] {
+		e.free = append(e.free, &block[1+i])
+	}
+	return &block[0]
+}
+
+// recycle retires a record onto the free list, invalidating every
+// outstanding handle to it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current simulation time.
@@ -106,39 +166,39 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule enqueues fn to run at the given absolute time with priority
 // zero. Scheduling in the past panics: that is always a model bug.
-func (e *Engine) Schedule(at Time, fn func(*Engine)) *Event {
+func (e *Engine) Schedule(at Time, fn func(*Engine)) Event {
 	return e.ScheduleP(at, 0, fn)
 }
 
 // ScheduleP enqueues fn at the given absolute time with an explicit
 // priority. Lower priorities fire first among same-instant events.
-func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) *Event {
+func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{when: at, priority: priority, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.when, ev.priority, ev.seq, ev.fn = at, priority, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Event{e: ev, gen: ev.gen}
 }
 
 // After enqueues fn to run delay picoseconds from now.
-func (e *Engine) After(delay Time, fn func(*Engine)) *Event {
+func (e *Engine) After(delay Time, fn func(*Engine)) Event {
 	return e.Schedule(e.now+delay, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a scheduled event. Cancelling an already-fired,
+// already-cancelled, or zero-handle event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Pending() {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	heap.Remove(&e.queue, ev.e.index)
+	e.recycle(ev.e)
 }
 
 // Halt stops Run/RunUntil after the in-flight event returns.
@@ -150,13 +210,13 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := heap.Pop(&e.queue).(*event)
 	if ev.when < e.now {
 		panic("sim: event heap corrupted (time went backwards)")
 	}
 	e.now = ev.when
 	fn := ev.fn
-	ev.fn = nil
+	e.recycle(ev)
 	e.fired++
 	fn(e)
 	return true

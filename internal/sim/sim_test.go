@@ -77,15 +77,59 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.Schedule(10, func(*Engine) { fired = true })
+	if !ev.Pending() || ev.When() != 10 {
+		t.Fatalf("scheduled event not pending at 10: %v %v", ev.Pending(), ev.When())
+	}
 	e.Cancel(ev)
-	e.Cancel(ev) // double-cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)      // double-cancel is a no-op
+	e.Cancel(Event{}) // zero handle is a no-op
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
+	if !ev.Cancelled() || ev.Pending() {
 		t.Fatal("event does not report cancelled")
+	}
+	if ev.When() != Never {
+		t.Fatal("cancelled event still reports a fire time")
+	}
+}
+
+func TestEngineRecyclesEvents(t *testing.T) {
+	// Fired and cancelled records are reused by later Schedule calls; a
+	// stale handle must not be able to touch the record's new tenant.
+	e := NewEngine()
+	first := e.Schedule(1, func(*Engine) {})
+	e.Run()
+	if first.Pending() || !first.Cancelled() {
+		t.Fatal("fired event still pending")
+	}
+	fired := false
+	second := e.Schedule(2, func(*Engine) { fired = true })
+	e.Cancel(first) // stale handle: must not cancel the recycled record
+	if !second.Pending() {
+		t.Fatal("stale Cancel removed the recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	// Warm the free list past the first block.
+	for i := 0; i < 4; i++ {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+step allocates %.1f/op, want 0", allocs)
 	}
 }
 

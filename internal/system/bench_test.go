@@ -1,0 +1,37 @@
+package system
+
+import (
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/workload"
+)
+
+// BenchmarkRunSingleCore measures one single-core μbank run end to end
+// (the unit of work every experiment sweep fans out).
+func BenchmarkRunSingleCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(singleSpec("429.mcf", 2, 8, 20000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMulticore measures an 8-core multiprogrammed run with the
+// full channel population.
+func BenchmarkRunMulticore(b *testing.B) {
+	mix := workload.MixHigh()
+	for i := 0; i < b.N; i++ {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+		sys.Cores = 8
+		profs := make([]workload.Profile, sys.Cores)
+		for c := range profs {
+			profs[c] = mix.ForCore(c)
+		}
+		spec := Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
+			WarmupInstr: 4000, Seed: 42}
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
