@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke fmt all-quick
+.PHONY: check build vet test race bench bench-smoke alloc-guard fmt all-quick
 
-check: build vet race bench-smoke
+check: build vet race alloc-guard bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Hard zero-alloc gate: fails (not just reports) if the engine's
+# schedule/step or schedule/cancel paths allocate with observability
+# disabled.
+alloc-guard:
+	$(GO) test -run 'ZeroAllocGuard' -count=1 ./internal/sim/
 
 # Fast allocation regression check: the engine hot paths must stay at
 # 0 allocs/op (see EXPERIMENTS.md for recorded baselines).

@@ -6,6 +6,7 @@
 //	microbank -exp fig8                 # regenerate Fig. 8 (relative IPC grids)
 //	microbank -exp all -quick           # every experiment, reduced fidelity
 //	microbank -exp run -workload 429.mcf -nw 2 -nb 8 -policy open
+//	microbank -exp run -workload 429.mcf -trace out.trace.json -metrics-out out.csv
 //	microbank -exp list                 # list experiments and workloads
 package main
 
@@ -13,11 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"microbank/internal/config"
 	"microbank/internal/experiments"
+	"microbank/internal/obs"
+	"microbank/internal/sim"
 	"microbank/internal/stats"
 	"microbank/internal/system"
 	"microbank/internal/workload"
@@ -39,25 +44,105 @@ func main() {
 		policy = flag.String("policy", "open", "page policy: open close minimalist local global tournament perfect")
 		ibit   = flag.Int("ib", 13, "interleave base bit (6 = cache line, 13 = row)")
 		svgOut = flag.String("svg", "", "also write grid experiments (fig6a/fig6b/fig8/fig9) as SVG heatmaps with this filename prefix")
+
+		traceOut   = flag.String("trace", "", "write DRAM commands of -exp run as Chrome trace-event JSON (open in Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write epoch time-series metrics of -exp run to this file (.json, or CSV otherwise)")
+		epochCyc   = flag.Uint64("epoch", 2500, "epoch length for -metrics-out sampling, in core cycles")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
+		reportOut  = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		progress   = flag.Bool("progress", false, "print a sweep progress heartbeat to stderr")
 	)
 	flag.Parse()
 
 	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed,
 		Parallelism: *jobs}
+	if *progress {
+		o.Progress = heartbeat()
+	}
 	svgPrefix = *svgOut
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microbank:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "microbank:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var report *experiments.Report
+	if *reportOut != "" {
+		report = experiments.NewReport(*exp, o)
+	}
+	oflags := obsFlags{trace: *traceOut, metrics: *metricsOut, epochCycles: *epochCyc}
+
 	start := time.Now()
-	if err := dispatch(*exp, o, *beta, *wl, *nw, *nb, *iface, *policy, *ibit); err != nil {
+	err := dispatch(*exp, o, report, oflags, *beta, *wl, *nw, *nb, *iface, *policy, *ibit)
+	if err == nil && report != nil {
+		err = report.WriteFile(*reportOut)
+		if err == nil {
+			fmt.Println("wrote", *reportOut)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "microbank:", err)
+		if *pprofOut != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("(elapsed %s)\n", time.Since(start).Round(time.Millisecond))
 }
 
+// heartbeat returns a Progress callback that prints a throttled
+// completion count to stderr (stdout stays reserved for tables).
+func heartbeat() func(done, total int) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done != total && now.Sub(last) < time.Second {
+			return
+		}
+		last = now
+		fmt.Fprintf(os.Stderr, "microbank: %d/%d runs\n", done, total)
+	}
+}
+
+// obsFlags carries the -exp run observability options.
+type obsFlags struct {
+	trace       string
+	metrics     string
+	epochCycles uint64
+}
+
 // svgPrefix, when set, makes grid experiments also emit SVG heatmaps.
 var svgPrefix string
 
-// writeSVG emits a grid heatmap next to the textual table.
-func writeSVG(g *experiments.GridData, name, title string) error {
+// emit prints a table and mirrors it into the report when one is open.
+func emit(report *experiments.Report, t *stats.Table) {
+	fmt.Println(t)
+	if report != nil {
+		report.AddTable(t)
+	}
+}
+
+// emitGrid prints a grid table, mirrors grid and table into the report,
+// and optionally writes the SVG heatmap.
+func emitGrid(report *experiments.Report, g *experiments.GridData, name, title string) error {
+	emit(report, g.Table(title))
+	if report != nil {
+		report.AddGrid(g)
+	}
 	if svgPrefix == "" {
 		return nil
 	}
@@ -66,11 +151,14 @@ func writeSVG(g *experiments.GridData, name, title string) error {
 		return err
 	}
 	fmt.Println("wrote", path)
+	if report != nil {
+		report.Artifact("svg:"+name, path)
+	}
 	return nil
 }
 
-func dispatch(exp string, o experiments.Options, beta float64,
-	wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+func dispatch(exp string, o experiments.Options, report *experiments.Report, of obsFlags,
+	beta float64, wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
 	switch exp {
 	case "list":
 		fmt.Println("experiments: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline all run")
@@ -78,20 +166,18 @@ func dispatch(exp string, o experiments.Options, beta float64,
 		fmt.Println("workload sets: spec-high spec-all mix-high mix-blend")
 		return nil
 	case "table1":
-		fmt.Println(experiments.Table1())
+		emit(report, experiments.Table1())
 	case "table2":
-		fmt.Println(experiments.Table2())
+		emit(report, experiments.Table2())
 	case "fig1":
-		fmt.Println(experiments.Fig1(beta, 8))
+		emit(report, experiments.Fig1(beta, 8))
 	case "fig6a":
-		g := experiments.Fig6a()
-		fmt.Println(g.Table("Fig. 6a: relative DRAM die area"))
-		if err := writeSVG(g, "fig6a", "Fig. 6a: relative DRAM die area"); err != nil {
+		if err := emitGrid(report, experiments.Fig6a(), "fig6a", "Fig. 6a: relative DRAM die area"); err != nil {
 			return err
 		}
 	case "fig6b":
-		fmt.Println(experiments.Fig6b(beta).Table(fmt.Sprintf("Fig. 6b: relative energy per read, beta=%.1f", beta)))
-		fmt.Println(experiments.Fig6b(0.1).Table("Fig. 6b: relative energy per read, beta=0.1"))
+		emit(report, experiments.Fig6b(beta).Table(fmt.Sprintf("Fig. 6b: relative energy per read, beta=%.1f", beta)))
+		emit(report, experiments.Fig6b(0.1).Table("Fig. 6b: relative energy per read, beta=0.1"))
 	case "fig8", "fig9":
 		ipc, edp, err := experiments.Fig8And9(o)
 		if err != nil {
@@ -99,13 +185,11 @@ func dispatch(exp string, o experiments.Options, beta float64,
 		}
 		for i := range ipc {
 			if exp == "fig8" {
-				fmt.Println(ipc[i].Table("Fig. 8: relative IPC, " + ipc[i].Workload))
-				if err := writeSVG(ipc[i], "fig8-"+ipc[i].Workload, "Fig. 8: relative IPC, "+ipc[i].Workload); err != nil {
+				if err := emitGrid(report, ipc[i], "fig8-"+ipc[i].Workload, "Fig. 8: relative IPC, "+ipc[i].Workload); err != nil {
 					return err
 				}
 			} else {
-				fmt.Println(edp[i].Table("Fig. 9: relative 1/EDP, " + edp[i].Workload))
-				if err := writeSVG(edp[i], "fig9-"+edp[i].Workload, "Fig. 9: relative 1/EDP, "+edp[i].Workload); err != nil {
+				if err := emitGrid(report, edp[i], "fig9-"+edp[i].Workload, "Fig. 9: relative 1/EDP, "+edp[i].Workload); err != nil {
 					return err
 				}
 			}
@@ -115,61 +199,64 @@ func dispatch(exp string, o experiments.Options, beta float64,
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.Fig10Table(rows))
+		emit(report, experiments.Fig10Table(rows))
 	case "fig11":
-		fmt.Println(experiments.Fig11())
+		emit(report, experiments.Fig11())
 	case "fig12":
 		rows, err := experiments.Fig12(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.Fig12Table(rows))
+		emit(report, experiments.Fig12Table(rows))
 	case "fig13":
 		rows, err := experiments.Fig13(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.Fig13Table(rows))
+		emit(report, experiments.Fig13Table(rows))
 	case "fig14":
 		rows, err := experiments.Fig14(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.Fig14Table(rows))
+		emit(report, experiments.Fig14Table(rows))
 	case "headline":
 		h, err := experiments.Headline(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.HeadlineTable(h))
+		emit(report, experiments.HeadlineTable(h))
 	case "ablations":
 		tb, err := experiments.Ablations(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(tb)
+		emit(report, tb)
 	case "related":
 		rows, err := experiments.RelatedWork(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RelatedWorkTable(rows))
+		emit(report, experiments.RelatedWorkTable(rows))
 	case "all":
 		for _, id := range []string{"table1", "table2", "fig1", "fig6a", "fig6b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "headline", "ablations", "related"} {
-			if err := dispatch(id, o, beta, wl, nw, nb, ifaceName, policyName, ibit); err != nil {
+			if err := dispatch(id, o, report, of, beta, wl, nw, nb, ifaceName, policyName, ibit); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 		}
 	case "run":
-		return runCustom(o, wl, nw, nb, ifaceName, policyName, ibit)
+		return runCustom(o, report, of, wl, nw, nb, ifaceName, policyName, ibit)
 	default:
 		return fmt.Errorf("unknown experiment %q (try -exp list)", exp)
 	}
 	return nil
 }
 
-// runCustom executes one ad-hoc configuration and prints a summary.
-func runCustom(o experiments.Options, wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+// runCustom executes one ad-hoc configuration and prints a summary,
+// attaching the observability layer when -trace / -metrics-out ask
+// for it.
+func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
+	wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
 	var iface config.Interface
 	switch ifaceName {
 	case "DDR3-PCB":
@@ -202,6 +289,26 @@ func runCustom(o experiments.Options, wl string, nw, nb int, ifaceName, policyNa
 	sys.Ctrl.InterleaveBit = ibit
 	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
+
+	var (
+		observer *obs.Observer
+		sampler  *obs.Sampler
+		tracer   *obs.ChromeTracer
+	)
+	if of.trace != "" || of.metrics != "" {
+		observer = obs.NewObserver()
+		if of.metrics != "" {
+			if of.epochCycles == 0 {
+				return fmt.Errorf("-epoch must be positive")
+			}
+			sampler = observer.EnableSampling(sim.Time(of.epochCycles) * sys.CoreClock().Period())
+		}
+		if of.trace != "" {
+			tracer = observer.EnableChromeTrace()
+		}
+		spec.Obs = observer
+	}
+
 	res, err := system.Run(spec)
 	if err != nil {
 		return err
@@ -220,6 +327,52 @@ func runCustom(o experiments.Options, wl string, nw, nb int, ifaceName, policyNa
 	t.AddRow("RD/WR power (W)", res.Breakdown.RdWrW())
 	t.AddRow("I/O power (W)", res.Breakdown.IOW())
 	t.AddRow("EDP (J·s)", fmt.Sprintf("%.3e", res.Breakdown.EDPJs()))
-	fmt.Println(t)
+	emit(report, t)
+
+	if report != nil {
+		report.SetMetric("ipc", res.IPC)
+		report.SetMetric("mapki", res.MAPKI)
+		report.SetMetric("row_hit_rate", res.RowHitRate)
+		report.SetMetric("avg_read_latency_ns", res.AvgReadLatencyNS)
+		report.SetMetric("pred_hit_rate", res.PredHitRate)
+		report.SetMetric("edp_js", res.Breakdown.EDPJs())
+	}
+
+	if tracer != nil {
+		f, cerr := os.Create(of.trace)
+		if cerr != nil {
+			return cerr
+		}
+		n, werr := tracer.WriteTo(f)
+		if err := f.Close(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", of.trace, werr)
+		}
+		fmt.Printf("wrote %s (%d DRAM commands, %d bytes)\n", of.trace, tracer.Len(), n)
+		if report != nil {
+			report.Artifact("trace", of.trace)
+		}
+	}
+	if sampler != nil {
+		var data []byte
+		if strings.HasSuffix(of.metrics, ".json") {
+			b, merr := sampler.JSON()
+			if merr != nil {
+				return merr
+			}
+			data = b
+		} else {
+			data = []byte(sampler.CSV())
+		}
+		if werr := os.WriteFile(of.metrics, data, 0o644); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (%d epochs, %d series)\n", of.metrics, sampler.Epochs(), len(sampler.Names()))
+		if report != nil {
+			report.Artifact("metrics", of.metrics)
+		}
+	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"microbank/internal/config"
+	"microbank/internal/obs"
 	"microbank/internal/sim"
 )
 
@@ -118,6 +119,12 @@ type Channel struct {
 
 	energy Energy
 
+	// tracer, when non-nil, receives one callback per issued command
+	// (obs.Tracer); chanID labels the events. The nil check is the
+	// entire disabled-path cost.
+	tracer obs.Tracer
+	chanID int
+
 	// Row-buffer outcome counters (per paper's hit-rate metrics).
 	RowHits      uint64
 	RowMisses    uint64 // closed bank, plain activate
@@ -163,6 +170,24 @@ func (c *Channel) NumBanks() int { return len(c.banks) }
 
 // Energy returns a snapshot of accumulated energy.
 func (c *Channel) Energy() Energy { return c.energy }
+
+// SetTracer attaches a command tracer; events are labelled with the
+// given channel index. A nil tracer disables tracing.
+func (c *Channel) SetTracer(t obs.Tracer, channel int) {
+	c.tracer = t
+	c.chanID = channel
+}
+
+// OpenBanks returns the number of banks currently holding an open row.
+func (c *Channel) OpenBanks() int {
+	n := 0
+	for i := range c.banks {
+		if c.banks[i].open {
+			n++
+		}
+	}
+	return n
+}
 
 // Open reports whether the bank's row buffer holds a row, and which.
 func (c *Channel) Open(bank int) (bool, uint32) {
@@ -219,6 +244,10 @@ func (c *Channel) MaybeRefresh(now sim.Time) bool {
 	// energy as one full-row ACT/PRE per conventional bank.
 	c.energy.RefreshPJ += c.cfg.Energy.ActPre8KBPJ * float64(c.cfg.Org.BanksPerRank)
 	c.nextRefresh += c.cfg.Timing.TREFI
+	if c.tracer != nil {
+		// All-bank refresh addresses the whole channel: bank -1.
+		c.tracer.TraceCmd(c.chanID, -1, obs.CmdREF, 0, now, now+c.cfg.Timing.TRFC)
+	}
 	return true
 }
 
@@ -243,11 +272,15 @@ func (c *Channel) perBankRefresh(now sim.Time) bool {
 		b.open = false
 		b.actReady = maxT(b.actReady, now+per)
 	}
-	c.refBank = (c.refBank + 1) % nb
 	c.energy.Refreshes++
 	c.energy.RefreshPJ += c.cfg.Energy.ActPre8KBPJ
 	// Per-bank refreshes must run banks× as often to cover the device.
 	c.nextRefresh += c.cfg.Timing.TREFI / sim.Time(nb)
+	if c.tracer != nil {
+		// Label the event with the first refreshed μbank of the group.
+		c.tracer.TraceCmd(c.chanID, lo, obs.CmdREF, 0, now, now+per)
+	}
+	c.refBank = (c.refBank + 1) % nb
 	return true
 }
 
@@ -292,6 +325,9 @@ func (c *Channel) IssueACT(bank int, row uint32, t sim.Time) {
 	r.actCount++
 	c.energy.Acts++
 	c.energy.ActPrePJ += c.actPrePJ()
+	if c.tracer != nil {
+		c.tracer.TraceCmd(c.chanID, bank, obs.CmdACT, row, t, t+c.cfg.Timing.TRCD)
+	}
 }
 
 // EarliestPRE returns the first instant >= now at which the open bank
@@ -310,10 +346,14 @@ func (c *Channel) IssuePRE(bank int, t sim.Time) {
 	if e := c.EarliestPRE(bank, t); t < e {
 		panic(fmt.Sprintf("dram: PRE at %d before earliest %d", t, e))
 	}
+	row := b.row
 	b.open = false
 	b.actReady = t + c.cfg.Timing.TRP
 	c.energy.Pres++
 	// ACT+PRE energy was charged at activate time (pair accounting).
+	if c.tracer != nil {
+		c.tracer.TraceCmd(c.chanID, bank, obs.CmdPRE, row, t, t+c.cfg.Timing.TRP)
+	}
 }
 
 // EarliestCol returns the first instant >= now at which a column
@@ -374,6 +414,9 @@ func (c *Channel) IssueRD(bank int, t sim.Time) (dataDone sim.Time) {
 	array, io := c.colPJ()
 	c.energy.RdWrPJ += array
 	c.energy.IOPJ += io
+	if c.tracer != nil {
+		c.tracer.TraceCmd(c.chanID, bank, obs.CmdRD, b.row, t, t+tm.TAA+tm.TBL)
+	}
 	return t + tm.TAA + tm.TBL
 }
 
@@ -395,6 +438,9 @@ func (c *Channel) IssueWR(bank int, t sim.Time) (done sim.Time) {
 	array, io := c.colPJ()
 	c.energy.RdWrPJ += array
 	c.energy.IOPJ += io
+	if c.tracer != nil {
+		c.tracer.TraceCmd(c.chanID, bank, obs.CmdWR, b.row, t, t+tm.TAA+tm.TBL)
+	}
 	return t + tm.TAA + tm.TBL
 }
 

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"microbank/internal/config"
 	"microbank/internal/parallel"
@@ -41,6 +42,12 @@ type Options struct {
 	// results are reduced in job order, so output is byte-identical
 	// at every width.
 	Parallelism int
+	// Progress, when non-nil, is invoked after each completed
+	// simulation of a sweep with the number done so far and the sweep
+	// total (the -progress heartbeat). It is called from worker
+	// goroutines and must be safe for concurrent use; it must not
+	// write to stdout, which carries the deterministic tables.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -198,10 +205,20 @@ type cellMetrics struct {
 // mapRuns fans independent simulation runs out over o.Parallelism
 // workers. Results come back in job order, so callers reduce them with
 // the exact arithmetic order of the serial loops this layer replaced —
-// parallel output stays byte-identical to serial.
+// parallel output stays byte-identical to serial. The optional
+// Progress callback observes completions (in completion order, which
+// is schedule-dependent); it never influences results.
 func mapRuns[J any](o Options, jobs []J, run func(J) (system.Result, error)) ([]system.Result, error) {
+	total := len(jobs)
+	var done atomic.Int64
 	return parallel.Map(context.Background(), o.Parallelism, jobs,
-		func(_ context.Context, j J) (system.Result, error) { return run(j) })
+		func(_ context.Context, j J) (system.Result, error) {
+			r, err := run(j)
+			if err == nil && o.Progress != nil {
+				o.Progress(int(done.Add(1)), total)
+			}
+			return r, err
+		})
 }
 
 // runGridCells runs one workload over the full partition grid, fanning

@@ -18,6 +18,7 @@ import (
 	"microbank/internal/addr"
 	"microbank/internal/config"
 	"microbank/internal/dram"
+	"microbank/internal/obs"
 	"microbank/internal/sim"
 )
 
@@ -122,6 +123,9 @@ type Controller struct {
 
 	stats        Stats
 	lastOccCheck sim.Time
+
+	// bankOccScratch backs BankOccupancy; nil until first observed.
+	bankOccScratch []uint16
 }
 
 // New builds a controller over a fresh DRAM channel. threads sizes the
@@ -169,6 +173,41 @@ func (c *Controller) Channel() *dram.Channel { return c.ch }
 
 // QueueLen returns the number of queued (unserviced) requests.
 func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// SetTracer threads a DRAM command tracer through to the channel;
+// events are labelled with the given channel index.
+func (c *Controller) SetTracer(t obs.Tracer, channel int) {
+	c.ch.SetTracer(t, channel)
+}
+
+// BankOccupancy summarizes how queued requests spread over banks:
+// busy is the number of distinct banks with at least one queued
+// request, maxQ the deepest per-bank backlog. The scratch slice is
+// lazily allocated, so unobserved runs never pay for it.
+func (c *Controller) BankOccupancy() (busy, maxQ int) {
+	if len(c.queue) == 0 {
+		return 0, 0
+	}
+	if c.bankOccScratch == nil {
+		c.bankOccScratch = make([]uint16, len(c.banks))
+	}
+	occ := c.bankOccScratch
+	for i := range occ {
+		occ[i] = 0
+	}
+	for _, r := range c.queue {
+		occ[r.bank]++
+	}
+	for _, n := range occ {
+		if n > 0 {
+			busy++
+		}
+		if int(n) > maxQ {
+			maxQ = int(n)
+		}
+	}
+	return busy, maxQ
+}
 
 // Stats returns a snapshot including DRAM energy so far.
 func (c *Controller) Stats() Stats {

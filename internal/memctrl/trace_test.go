@@ -1,0 +1,111 @@
+package memctrl
+
+import (
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/obs"
+	"microbank/internal/sim"
+)
+
+// recTracer records traced commands for assertions.
+type recTracer struct {
+	events []recEvent
+}
+
+type recEvent struct {
+	channel, bank   int
+	kind            obs.CmdKind
+	row             uint32
+	issue, complete sim.Time
+}
+
+func (r *recTracer) TraceCmd(channel, bank int, kind obs.CmdKind, row uint32, issue, complete sim.Time) {
+	r.events = append(r.events, recEvent{channel, bank, kind, row, issue, complete})
+}
+
+func (r *recTracer) count(k obs.CmdKind) int {
+	n := 0
+	for _, e := range r.events {
+		if e.kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTracerSeesEveryCommand drives a row conflict through the
+// controller and checks the tracer's event stream matches the channel's
+// own command counters exactly.
+func TestTracerSeesEveryCommand(t *testing.T) {
+	mem := testMem(1, 1)
+	tr := &recTracer{}
+	rowBytes := uint64(mem.Org.RowBytes)
+	c := run(t, mem, testCtl(config.OpenPage), func(eng *sim.Engine, c *Controller) {
+		c.SetTracer(tr, 3)
+		eng.Schedule(0, func(*sim.Engine) {
+			c.Enqueue(&Request{Addr: 0})                // ACT + RD
+			c.Enqueue(&Request{Addr: 64})               // RD (same row)
+			c.Enqueue(&Request{Addr: 16 * rowBytes})    // PRE + ACT + RD (conflict)
+			c.Enqueue(&Request{Addr: 128, Write: true}) // PRE + ACT + WR
+		})
+	})
+	e := c.Channel().Energy()
+	if got, want := tr.count(obs.CmdACT), int(e.Acts); got != want {
+		t.Fatalf("traced ACTs = %d, channel counted %d", got, want)
+	}
+	if got, want := tr.count(obs.CmdRD), int(e.Reads); got != want {
+		t.Fatalf("traced RDs = %d, channel counted %d", got, want)
+	}
+	if got, want := tr.count(obs.CmdWR), int(e.Writes); got != want {
+		t.Fatalf("traced WRs = %d, channel counted %d", got, want)
+	}
+	if got, want := tr.count(obs.CmdPRE), int(e.Pres); got != want {
+		t.Fatalf("traced PREs = %d, channel counted %d", got, want)
+	}
+	if tr.count(obs.CmdRD) != 3 || tr.count(obs.CmdWR) != 1 {
+		t.Fatalf("expected 3 RD + 1 WR, got %d/%d", tr.count(obs.CmdRD), tr.count(obs.CmdWR))
+	}
+	for _, e := range tr.events {
+		if e.channel != 3 {
+			t.Fatalf("event channel = %d, want 3", e.channel)
+		}
+		if e.complete < e.issue {
+			t.Fatalf("event completes before issue: %+v", e)
+		}
+	}
+	// Timestamps must be non-decreasing in issue order per bank (all
+	// events hit bank 0 here, so globally).
+	for i := 1; i < len(tr.events); i++ {
+		if tr.events[i].issue < tr.events[i-1].issue {
+			t.Fatalf("trace out of order at %d: %+v then %+v", i, tr.events[i-1], tr.events[i])
+		}
+	}
+}
+
+// TestBankOccupancy checks the queued-request spread accessor.
+func TestBankOccupancy(t *testing.T) {
+	mem := testMem(1, 4)
+	eng := sim.NewEngine()
+	c := New(eng, mem, testCtl(config.OpenPage), 4)
+	if busy, maxQ := c.BankOccupancy(); busy != 0 || maxQ != 0 {
+		t.Fatalf("empty queue occupancy = %d/%d", busy, maxQ)
+	}
+	// Three requests to one bank, one to another (before any service).
+	base := uint64(0)
+	other := uint64(mem.Org.CacheLineBytes) * 1 // next bank under line interleave
+	eng.Schedule(0, func(*sim.Engine) {
+		c.Enqueue(&Request{Addr: base})
+		c.Enqueue(&Request{Addr: base + 16*uint64(mem.Org.RowBytes)})
+		c.Enqueue(&Request{Addr: base + 32*uint64(mem.Org.RowBytes)})
+		c.Enqueue(&Request{Addr: other})
+		busy, maxQ := c.BankOccupancy()
+		if busy < 1 || maxQ < 1 || busy > 4 {
+			t.Fatalf("occupancy = %d/%d", busy, maxQ)
+		}
+		if busy*maxQ < 4 && busy+maxQ < 4 {
+			t.Fatalf("occupancy does not cover 4 queued requests: busy=%d maxQ=%d", busy, maxQ)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,127 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry (counters, gauges, histograms with stable names and labels
+// such as channel/bank/thread), an epoch sampler that snapshots every
+// registered series on a fixed simulated-time cadence, and a DRAM
+// command tracer that records ACT/RD/WR/PRE/REF events as Chrome
+// trace-event JSON viewable in Perfetto.
+//
+// The layer is strictly opt-in: a nil Tracer and an absent Sampler cost
+// the model nothing beyond a nil check on each command issue, so the
+// engine's zero-allocation hot path is preserved when observability is
+// off (guarded by TestScheduleStepZeroAllocGuard in internal/sim).
+// Sampling and tracing only read model state — they never schedule
+// model events or mutate component state — so an observed run produces
+// bit-identical simulation results to an unobserved one.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"microbank/internal/sim"
+)
+
+// CmdKind enumerates the traced DRAM command kinds. The values mirror
+// package dram's command order (ACT, RD, WR, PRE, REF); obs redeclares
+// them so the dependency points from the model to the observability
+// layer, never back.
+type CmdKind uint8
+
+// Traced DRAM command kinds.
+const (
+	CmdACT CmdKind = iota
+	CmdRD
+	CmdWR
+	CmdPRE
+	CmdREF
+)
+
+// String returns the conventional mnemonic.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdPRE:
+		return "PRE"
+	case CmdREF:
+		return "REF"
+	default:
+		return fmt.Sprintf("CmdKind(%d)", int(k))
+	}
+}
+
+// Tracer receives one callback per issued DRAM command. issue is the
+// command's issue instant; complete is when its effect lands (ACT:
+// row open at issue+tRCD, RD/WR: data transferred, PRE: bank ready at
+// issue+tRP, REF: channel or bank released). bank is -1 for commands
+// that address the whole channel (all-bank refresh). Implementations
+// must not mutate simulation state.
+type Tracer interface {
+	TraceCmd(channel, bank int, kind CmdKind, row uint32, issue, complete sim.Time)
+}
+
+// Observer bundles one run's observability configuration: a registry
+// that components publish metrics into, an optional epoch sampler, and
+// an optional DRAM command tracer. A nil *Observer means "observability
+// off" throughout the simulator.
+type Observer struct {
+	Registry *Registry
+	Sampler  *Sampler
+	Tracer   Tracer
+}
+
+// NewObserver returns an observer with an empty registry and no
+// sampling or tracing enabled.
+func NewObserver() *Observer {
+	return &Observer{Registry: NewRegistry()}
+}
+
+// EnableSampling attaches an epoch sampler with the given epoch length
+// (simulated time between snapshots) and returns it.
+func (o *Observer) EnableSampling(every sim.Time) *Sampler {
+	o.Sampler = NewSampler(o.Registry, every)
+	return o.Sampler
+}
+
+// EnableChromeTrace attaches a Chrome trace-event tracer and returns it.
+func (o *Observer) EnableChromeTrace() *ChromeTracer {
+	t := NewChromeTracer()
+	o.Tracer = t
+	return t
+}
+
+// Label is one name dimension of a metric, e.g. {"ch", "0"}.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a label, formatting the value with %v.
+func L(key string, value any) Label {
+	return Label{Key: key, Value: fmt.Sprint(value)}
+}
+
+// fullName renders "name{k1=v1,k2=v2}" (or bare name without labels).
+// Labels keep their given order so names stay stable across runs.
+func fullName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// TestScheduleStepZeroAllocGuard is the benchmark guard behind the
+// observability layer's "disabled means free" contract: with no tracer
+// or sampler attached, the engine's steady-state schedule/fire and
+// schedule/cancel paths must not allocate. A regression here (a new
+// per-event allocation, an interface box on the hot path) fails this
+// test rather than silently shifting the benchmark baselines.
+//
+// Skipped under the race detector, whose instrumentation allocates.
+func TestScheduleStepZeroAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	e := NewEngine()
+	fn := func(*Engine) {}
+	// Warm the event free list past several block grants so the
+	// measured window recycles records instead of growing the arena.
+	for i := 0; i < 4*eventBlock; i++ {
+		e.Schedule(e.Now()+1, fn)
+	}
+	e.Run()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Errorf("schedule+step allocates %.2f allocs/op, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		ev := e.Schedule(e.Now()+1, fn)
+		e.Cancel(ev)
+	}); avg != 0 {
+		t.Errorf("schedule+cancel allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -46,11 +46,16 @@ type Histogram struct {
 	max     uint64
 }
 
-// Observe records one sample.
+// Observe records one sample. Values at or above 2^62 share the top
+// bucket (a 64-bit bit-length would otherwise index one past the
+// array for values with bit 63 set).
 func (h *Histogram) Observe(v uint64) {
 	idx := 0
 	for b := v; b > 0; b >>= 1 {
 		idx++
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
 	}
 	h.buckets[idx]++
 	h.count++
@@ -81,7 +86,9 @@ func (h *Histogram) Min() uint64 { return h.min }
 func (h *Histogram) Max() uint64 { return h.max }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
-// bucket upper edges; it is exact to within a factor of two.
+// bucket upper edges capped at the observed maximum; it is exact to
+// within a factor of two and never exceeds Max. The result is
+// non-decreasing in q.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 || q <= 0 {
 		return 0
@@ -97,7 +104,16 @@ func (h *Histogram) Quantile(q float64) uint64 {
 			if i == 0 {
 				return 0
 			}
-			return 1<<uint(i) - 1
+			// The top bucket is open-ended (it absorbs everything at
+			// or above 2^62), and in any bucket the true largest
+			// sample may sit below the power-of-two edge — cap at the
+			// observed maximum. Since bucket edges and Max are both
+			// non-decreasing, the capped result stays monotone in q.
+			edge := uint64(1)<<uint(i) - 1
+			if i == len(h.buckets)-1 || edge > h.max {
+				return h.max
+			}
+			return edge
 		}
 	}
 	return h.max
@@ -121,8 +137,9 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
-// Set is a string-keyed collection of counters with stable iteration,
-// used for per-run summaries.
+// Set is a string-keyed collection of counters used for per-run
+// summaries. Iteration (Names, String) is in sorted name order,
+// independent of insertion order.
 type Set struct {
 	names []string
 	vals  map[string]*Counter
@@ -210,15 +227,30 @@ func (t *Table) NumRows() int { return len(t.rows) }
 // Cell returns the formatted cell (row, col); it panics if out of range.
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
 
-// String renders the table.
+// Row returns a copy of the formatted cells of one data row; it panics
+// if the row is out of range.
+func (t *Table) Row(row int) []string {
+	return append([]string(nil), t.rows[row]...)
+}
+
+// String renders the table. Rows may carry more cells than the header
+// (the extra columns get empty header text); a separator added before
+// any rows is suppressed, one added after the last row is drawn as a
+// closing rule.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -240,6 +272,9 @@ func (t *Table) String() string {
 	total := 0
 	for _, w := range widths {
 		total += w + 2
+	}
+	if total < 2 {
+		total = 2 // empty header and no rows: keep the rule non-negative
 	}
 	rule := strings.Repeat("-", total-2)
 	b.WriteString(rule)

@@ -1,0 +1,91 @@
+package system
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"microbank/internal/obs"
+)
+
+// TestObservabilityDoesNotPerturbSimulation is the determinism
+// invariant of the observability layer: a run with epoch sampling AND
+// command tracing enabled must produce a Result identical, field for
+// field, to the same run with observability off.
+func TestObservabilityDoesNotPerturbSimulation(t *testing.T) {
+	base, err := Run(singleSpec("429.mcf", 2, 8, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := singleSpec("429.mcf", 2, 8, 20000)
+	o := obs.NewObserver()
+	sampler := o.EnableSampling(500 * 1000) // 500 ns epochs
+	tracer := o.EnableChromeTrace()
+	spec.Obs = o
+	observed, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(base, observed) {
+		t.Errorf("observability perturbed the simulation:\nbase:     %+v\nobserved: %+v", base, observed)
+	}
+	if sampler.Epochs() == 0 {
+		t.Error("sampler recorded no epochs")
+	}
+	if tracer.Len() == 0 {
+		t.Error("tracer recorded no commands")
+	}
+	if len(sampler.Names()) < 5 {
+		t.Errorf("sampler recorded %d series, want >= 5: %v", len(sampler.Names()), sampler.Names())
+	}
+
+	// The epoch CSV must carry the headline series.
+	csv := sampler.CSV()
+	for _, want := range []string{"mem.read_bw_gbps{ch=0}", "mem.queue_depth{ch=0}",
+		"mem.row_hit_rate{ch=0}", "mem.pred_accuracy{ch=0}", "mem.banks_open{ch=0}"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("epoch CSV missing series %s", want)
+		}
+	}
+
+	// And the trace must serialize to loadable JSON.
+	var buf bytes.Buffer
+	if _, err := tracer.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[`) {
+		t.Error("trace serialization missing traceEvents")
+	}
+}
+
+// TestObservedRunRepeatable: two observed runs are identical to each
+// other, including the recorded series (sampling itself is
+// deterministic).
+func TestObservedRunRepeatable(t *testing.T) {
+	runOnce := func() (Result, string, int) {
+		spec := singleSpec("450.soplex", 2, 2, 10000)
+		o := obs.NewObserver()
+		s := o.EnableSampling(1000 * 1000)
+		tr := o.EnableChromeTrace()
+		spec.Obs = o
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.CSV(), tr.Len()
+	}
+	r1, csv1, n1 := runOnce()
+	r2, csv2, n2 := runOnce()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("observed runs differ in Result")
+	}
+	if csv1 != csv2 {
+		t.Error("observed runs differ in epoch CSV")
+	}
+	if n1 != n2 {
+		t.Errorf("observed runs differ in trace length: %d vs %d", n1, n2)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"microbank/internal/energy"
 	"microbank/internal/memctrl"
 	"microbank/internal/noc"
+	"microbank/internal/obs"
 	"microbank/internal/sim"
 	"microbank/internal/workload"
 )
@@ -44,6 +45,12 @@ type Spec struct {
 	// each core (trace replay via workload.Trace, custom generators,
 	// ...). Profiles[core] still supplies DepFrac for the core model.
 	GeneratorFor func(core int) workload.Generator
+	// Obs, when non-nil, enables observability for the run: component
+	// metrics register into Obs.Registry, Obs.Sampler (if set) snapshots
+	// them every epoch, and Obs.Tracer (if set) records every DRAM
+	// command. Observation is read-only — results are bit-identical with
+	// or without it.
+	Obs *obs.Observer
 }
 
 // Result carries every metric the experiments report.
@@ -189,6 +196,12 @@ func Run(spec Spec) (Result, error) {
 		return Result{}, fmt.Errorf("system: warm-up %d >= budget %d", spec.WarmupInstr, spec.InstrPerCore)
 	}
 	m := build(spec)
+	if spec.Obs != nil {
+		m.wireObs(spec.Obs)
+		if spec.Obs.Sampler != nil {
+			spec.Obs.Sampler.Start(m.eng)
+		}
+	}
 	for _, c := range m.cores {
 		c.Start()
 	}
