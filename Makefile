@@ -1,13 +1,15 @@
 # Developer checks for the microbank simulator. `make check` is the
 # gate every change should pass: the race detector guards the
-# worker-pool experiment layer, and the bench smoke keeps the engine's
-# zero-alloc hot path honest.
+# worker-pool experiment layer, the bench smoke keeps the engine's
+# zero-alloc hot path honest, and the protocol gate runs every shipped
+# configuration under the DRAM timing sanitizer (internal/check).
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke alloc-guard fmt all-quick
+.PHONY: check build vet test race bench bench-smoke alloc-guard \
+	check-protocol fuzz-smoke update-golden fmt all-quick
 
-check: build vet race alloc-guard bench-smoke
+check: build vet race alloc-guard bench-smoke check-protocol
 
 build:
 	$(GO) build ./...
@@ -31,6 +33,24 @@ alloc-guard:
 # 0 allocs/op (see EXPERIMENTS.md for recorded baselines).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -benchtime=100x ./internal/sim/
+
+# Protocol gate: every shipped configuration, page-policy/scheduler
+# combination, interleaving, and a multicore run must produce zero
+# DRAM timing-protocol violations under the sanitizer. Failures are
+# also written to internal/check/protocol-violations.log.
+check-protocol:
+	$(GO) test -run 'TestProtocol' -count=1 ./internal/check/
+
+# Short randomized-config fuzz of the sanitizer (CI runs this as a
+# smoke; drop -fuzztime for an open-ended session).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzTimingConfig' -fuzztime 20s ./internal/check/
+
+# Deliberately regenerate the golden run-report fixtures after a
+# change that intentionally alters simulation results (see
+# EXPERIMENTS.md for the review protocol).
+update-golden:
+	UPDATE_GOLDEN=1 $(GO) test -count=1 ./internal/check/golden/
 
 # Full benchmark sweep (figures + substrates), as recorded in EXPERIMENTS.md.
 bench:

@@ -7,6 +7,7 @@
 //	microbank -exp all -quick           # every experiment, reduced fidelity
 //	microbank -exp run -workload 429.mcf -nw 2 -nb 8 -policy open
 //	microbank -exp run -workload 429.mcf -trace out.trace.json -metrics-out out.csv
+//	microbank -exp run -workload 429.mcf -check collect   # DRAM timing-protocol sanitizer
 //	microbank -exp list                 # list experiments and workloads
 package main
 
@@ -19,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"microbank/internal/check"
 	"microbank/internal/config"
 	"microbank/internal/experiments"
 	"microbank/internal/obs"
@@ -45,6 +47,7 @@ func main() {
 		ibit   = flag.Int("ib", 13, "interleave base bit (6 = cache line, 13 = row)")
 		svgOut = flag.String("svg", "", "also write grid experiments (fig6a/fig6b/fig8/fig9) as SVG heatmaps with this filename prefix")
 
+		checkFlag  = flag.String("check", "off", "timing-protocol sanitizer for -exp run: off | collect | fatal")
 		traceOut   = flag.String("trace", "", "write DRAM commands of -exp run as Chrome trace-event JSON (open in Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write epoch time-series metrics of -exp run to this file (.json, or CSV otherwise)")
 		epochCyc   = flag.Uint64("epoch", 2500, "epoch length for -metrics-out sampling, in core cycles")
@@ -81,7 +84,7 @@ func main() {
 	if *reportOut != "" {
 		report = experiments.NewReport(*exp, o)
 	}
-	oflags := obsFlags{trace: *traceOut, metrics: *metricsOut, epochCycles: *epochCyc}
+	oflags := obsFlags{trace: *traceOut, metrics: *metricsOut, epochCycles: *epochCyc, check: *checkFlag}
 
 	start := time.Now()
 	err := dispatch(*exp, o, report, oflags, *beta, *wl, *nw, *nb, *iface, *policy, *ibit)
@@ -123,6 +126,7 @@ type obsFlags struct {
 	trace       string
 	metrics     string
 	epochCycles uint64
+	check       string
 }
 
 // svgPrefix, when set, makes grid experiments also emit SVG heatmaps.
@@ -294,8 +298,9 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		observer *obs.Observer
 		sampler  *obs.Sampler
 		tracer   *obs.ChromeTracer
+		checker  *check.Checker
 	)
-	if of.trace != "" || of.metrics != "" {
+	if of.trace != "" || of.metrics != "" || of.check != "off" {
 		observer = obs.NewObserver()
 		if of.metrics != "" {
 			if of.epochCycles == 0 {
@@ -305,6 +310,17 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		}
 		if of.trace != "" {
 			tracer = observer.EnableChromeTrace()
+		}
+		switch of.check {
+		case "off":
+		case "collect":
+			checker = check.New(sys.Mem, check.ModeCollect)
+			observer.AddTracer(checker)
+		case "fatal":
+			checker = check.New(sys.Mem, check.ModeFatal)
+			observer.AddTracer(checker)
+		default:
+			return fmt.Errorf("unknown -check mode %q (off | collect | fatal)", of.check)
 		}
 		spec.Obs = observer
 	}
@@ -373,6 +389,17 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		if report != nil {
 			report.Artifact("metrics", of.metrics)
 		}
+	}
+	// Checker results go to the console only, never into the report:
+	// reports must stay byte-identical with and without observability.
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			for _, v := range checker.Violations() {
+				fmt.Fprintln(os.Stderr, "microbank:", v)
+			}
+			return err
+		}
+		fmt.Printf("protocol check: %d DRAM commands, 0 violations\n", checker.Commands())
 	}
 	return nil
 }

@@ -1,0 +1,419 @@
+package check_test
+
+// Seeded-violation tests: each constraint class is exercised with a
+// hand-crafted command stream that breaks exactly that constraint
+// (plus a control stream one picosecond later that must pass), proving
+// the sanitizer detects what it claims to. Integration tests then run
+// the real simulator against a deliberately corrupted checker
+// configuration to show detection works end-to-end through the
+// obs.Tracer seam.
+
+import (
+	"strings"
+	"testing"
+
+	"microbank/internal/check"
+	"microbank/internal/config"
+	"microbank/internal/obs"
+	"microbank/internal/sim"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+const ns = sim.Nanosecond
+
+// cmd replays one command into the checker; complete timestamps are
+// informational only, so tests pass issue for both.
+func cmd(c *check.Checker, bank int, kind obs.CmdKind, row uint32, at sim.Time) {
+	c.TraceCmd(0, bank, kind, row, at, at)
+}
+
+// rules returns the distinct violated rules in order of first report.
+func rules(c *check.Checker) []check.Rule {
+	var out []check.Rule
+	seen := map[check.Rule]bool{}
+	for _, v := range c.Violations() {
+		if !seen[v.Rule] {
+			seen[v.Rule] = true
+			out = append(out, v.Rule)
+		}
+	}
+	return out
+}
+
+func wantOnly(t *testing.T, c *check.Checker, want check.Rule) {
+	t.Helper()
+	got := rules(c)
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("violated rules = %v, want exactly [%v]\nviolations: %v", got, want, c.Violations())
+	}
+}
+
+func wantClean(t *testing.T, c *check.Checker) {
+	t.Helper()
+	if err := c.Err(); err != nil {
+		t.Fatalf("expected clean stream, got: %v", err)
+	}
+}
+
+func pcbMem() config.Mem { return config.MemPreset(config.DDR3PCB, 1, 1) }
+
+func TestCleanSequencePasses(t *testing.T) {
+	m := pcbMem()
+	tm := m.Timing
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 7, 0)
+	cmd(c, 0, obs.CmdRD, 7, tm.TRCD)
+	cmd(c, 0, obs.CmdWR, 7, tm.TRCD+tm.TCCD)
+	wrEnd := tm.TRCD + tm.TCCD + tm.TAA + tm.TBL + tm.TWR
+	pre := maxTime(tm.TRAS, wrEnd)
+	cmd(c, 0, obs.CmdPRE, 7, pre)
+	cmd(c, 0, obs.CmdACT, 9, pre+tm.TRP)
+	wantClean(t, c)
+	if c.Commands() != 5 {
+		t.Fatalf("Commands() = %d, want 5", c.Commands())
+	}
+}
+
+func TestSeededTRCD(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdRD, 5, m.Timing.TRCD-1)
+	wantOnly(t, c, check.RuleTRCD)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdRD, 5, m.Timing.TRCD)
+	wantClean(t, c)
+}
+
+func TestSeededTRAS(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdPRE, 5, m.Timing.TRAS-1)
+	wantOnly(t, c, check.RuleTRAS)
+}
+
+func TestSeededTRP(t *testing.T) {
+	m := pcbMem()
+	tm := m.Timing
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdPRE, 5, tm.TRAS)
+	cmd(c, 0, obs.CmdACT, 6, tm.TRAS+tm.TRP-1)
+	wantOnly(t, c, check.RuleTRP)
+}
+
+func TestSeededTWR(t *testing.T) {
+	m := pcbMem()
+	tm := m.Timing
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdWR, 5, tm.TRCD)
+	// Write data lands at tRCD+tAA+tBL; recovery ends tWR later (47 ns,
+	// past the 35 ns tRAS), so a 40 ns PRE breaks only write recovery.
+	cmd(c, 0, obs.CmdPRE, 5, 40*ns)
+	wantOnly(t, c, check.RuleTWR)
+}
+
+func TestSeededTRTP(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	// A late read pushes read-to-precharge past tRAS, isolating tRTP.
+	cmd(c, 0, obs.CmdRD, 5, 40*ns)
+	cmd(c, 0, obs.CmdPRE, 5, 40*ns+m.Timing.TRTP-1)
+	wantOnly(t, c, check.RuleTRTP)
+}
+
+func TestSeededTRRD(t *testing.T) {
+	m := pcbMem() // nW=1: effective tRRD is the full 6 ns
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, m.EffectiveTRRD()-1)
+	wantOnly(t, c, check.RuleTRRD)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, m.EffectiveTRRD())
+	wantClean(t, c)
+}
+
+func TestSeededTRRDMicrobankScaling(t *testing.T) {
+	// nW=2 halves tRRD (4 ns → 2 ns on LPDDR-TSI).
+	m := config.MemPreset(config.LPDDRTSI, 2, 1)
+	if got := m.EffectiveTRRD(); got != 2*ns {
+		t.Fatalf("EffectiveTRRD = %d, want %d", got, 2*ns)
+	}
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, 2*ns-1)
+	wantOnly(t, c, check.RuleTRRD)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, 2*ns)
+	wantClean(t, c)
+}
+
+func TestSeededTRRDFloor(t *testing.T) {
+	// nW=16 would scale 4 ns tRRD to 250 ps; the 1 ns command-slot
+	// floor must hold instead.
+	m := config.MemPreset(config.LPDDRTSI, 16, 1)
+	if got := m.EffectiveTRRD(); got != ns {
+		t.Fatalf("EffectiveTRRD = %d, want %d (floored)", got, ns)
+	}
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, ns-1)
+	wantOnly(t, c, check.RuleTRRD)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 1, 0)
+	cmd(c, 1, obs.CmdACT, 1, ns)
+	wantClean(t, c)
+}
+
+func TestSeededTFAW(t *testing.T) {
+	m := pcbMem() // window: 4 ACTs per 30 ns
+	tm := m.Timing
+	c := check.New(m, check.ModeCollect)
+	for i := 0; i < 4; i++ {
+		cmd(c, i, obs.CmdACT, 1, sim.Time(i)*tm.TRRD)
+	}
+	cmd(c, 4, obs.CmdACT, 1, tm.TFAW-1)
+	wantOnly(t, c, check.RuleTFAW)
+
+	c = check.New(m, check.ModeCollect)
+	for i := 0; i < 4; i++ {
+		cmd(c, i, obs.CmdACT, 1, sim.Time(i)*tm.TRRD)
+	}
+	cmd(c, 4, obs.CmdACT, 1, tm.TFAW)
+	wantClean(t, c)
+}
+
+func TestSeededTFAWWindowScalesWithNW(t *testing.T) {
+	// nW=2 widens the window to 8 ACTs per tFAW. Stretch tFAW so it can
+	// bind despite the relaxed effective tRRD, then verify ACTs 5..8 are
+	// legal (a conventional checker would flag the 5th) and the 9th
+	// inside the window is what trips.
+	m := config.MemPreset(config.LPDDRTSI, 2, 1)
+	m.Timing.TFAW = 64 * ns
+	c := check.New(m, check.ModeCollect)
+	for i := 0; i < 8; i++ {
+		cmd(c, i, obs.CmdACT, 1, sim.Time(i)*m.EffectiveTRRD())
+	}
+	wantClean(t, c)
+	cmd(c, 8, obs.CmdACT, 1, 20*ns) // inside [0, 64 ns) window
+	wantOnly(t, c, check.RuleTFAW)
+
+	c = check.New(m, check.ModeCollect)
+	for i := 0; i < 8; i++ {
+		cmd(c, i, obs.CmdACT, 1, sim.Time(i)*m.EffectiveTRRD())
+	}
+	cmd(c, 8, obs.CmdACT, 1, 64*ns)
+	wantClean(t, c)
+}
+
+func TestSeededTRFC(t *testing.T) {
+	m := pcbMem()
+	tm := m.Timing
+	c := check.New(m, check.ModeCollect)
+	cmd(c, -1, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, 0, obs.CmdACT, 1, tm.TREFI+tm.TRFC-1)
+	wantOnly(t, c, check.RuleTRFC)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, -1, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, 0, obs.CmdACT, 1, tm.TREFI+tm.TRFC)
+	wantClean(t, c)
+}
+
+func TestSeededRefreshEarly(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, -1, obs.CmdREF, 0, m.Timing.TREFI-1)
+	wantOnly(t, c, check.RuleRefEarly)
+}
+
+func TestSeededPerBankRefresh(t *testing.T) {
+	m := config.MemPreset(config.LPDDRTSI, 2, 2)
+	m.Timing.PerBankRefresh = true
+	tm := m.Timing
+	nb := m.Org.BanksPerRank * m.Org.RanksPerChan
+	per := tm.TRFC / sim.Time(nb)
+	group := m.Org.NW * m.Org.NB
+
+	// ACT inside the refreshed group's blackout trips tRFC ...
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, 0, obs.CmdACT, 1, tm.TREFI+per-1)
+	wantOnly(t, c, check.RuleTRFC)
+
+	// ... while the next conventional bank's group is untouched and may
+	// activate at the same instant.
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, group, obs.CmdACT, 1, tm.TREFI+per-1)
+	wantClean(t, c)
+
+	// Per-bank refreshes come nb× as often: the next REF is due
+	// tREFI/nb later, not tREFI later.
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, group, obs.CmdREF, 0, tm.TREFI+tm.TREFI/sim.Time(nb))
+	wantClean(t, c)
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdREF, 0, tm.TREFI)
+	cmd(c, group, obs.CmdREF, 0, tm.TREFI+tm.TREFI/sim.Time(nb)-1)
+	wantOnly(t, c, check.RuleRefEarly)
+}
+
+func TestSeededClosedRowColumn(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdRD, 5, 20*ns) // no ACT ever issued
+	wantOnly(t, c, check.RuleClosedRow)
+
+	// Column to the wrong open row.
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdRD, 6, m.Timing.TRCD)
+	wantOnly(t, c, check.RuleClosedRow)
+
+	// Column to a bank closed by refresh.
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdRD, 5, m.Timing.TRCD)
+	cmd(c, -1, obs.CmdREF, 0, m.Timing.TREFI)
+	cmd(c, 0, obs.CmdRD, 5, m.Timing.TREFI+m.Timing.TRFC)
+	wantOnly(t, c, check.RuleClosedRow)
+}
+
+func TestSeededStateRules(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	cmd(c, 0, obs.CmdACT, 6, 40*ns)
+	wantOnly(t, c, check.RuleOpenACT)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 0, obs.CmdPRE, 0, 10*ns)
+	wantOnly(t, c, check.RuleClosedPRE)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 512, obs.CmdACT, 0, 0) // way past the 16 banks of a PCB channel
+	wantOnly(t, c, check.RuleBadBank)
+}
+
+func TestFatalModePanics(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeFatal)
+	cmd(c, 0, obs.CmdACT, 5, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic in ModeFatal")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "tRCD") {
+			t.Fatalf("panic = %v, want message naming tRCD", r)
+		}
+	}()
+	cmd(c, 0, obs.CmdRD, 5, m.Timing.TRCD-1)
+}
+
+func TestViolationCapAndErr(t *testing.T) {
+	m := pcbMem()
+	c := check.New(m, check.ModeCollect)
+	c.MaxViolations = 2
+	for i := 0; i < 5; i++ {
+		cmd(c, 0, obs.CmdRD, 5, sim.Time(i)*40*ns) // bank never opened
+	}
+	if got := len(c.Violations()); got != 2 {
+		t.Fatalf("collected %d violations, want cap of 2", got)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total() = %d, want 5", c.Total())
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "5 protocol violation(s)") {
+		t.Fatalf("Err() = %v, want summary of 5 violations", err)
+	}
+}
+
+// runWithChecker runs a short single-core simulation with ck attached
+// through the observer seam. The device model uses mem; the checker
+// may be configured with different (corrupted) constraints.
+func runWithChecker(t *testing.T, mem config.Mem, ck *check.Checker) {
+	t.Helper()
+	sys := config.SingleCore(mem)
+	// Close page maximizes ACT/PRE traffic so every activation-window
+	// constraint gets exercised.
+	sys.Ctrl.PagePolicy = config.ClosePage
+	spec := system.UniformSpec(sys, workload.MustGet("429.mcf"), 24000, 42)
+	spec.WarmupInstr = 12000
+	o := obs.NewObserver()
+	o.AddTracer(ck)
+	spec.Obs = o
+	if _, err := system.Run(spec); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ck.Commands() == 0 {
+		t.Fatalf("checker observed no commands; tracer not wired")
+	}
+}
+
+// TestCorruptedTimingsDetected proves end-to-end detection: the device
+// model runs with its real timings while the checker is configured
+// with tightened constraints, so the legal stream must violate the
+// checker's view of each corrupted parameter.
+func TestCorruptedTimingsDetected(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(*config.Mem)
+		want    check.Rule
+	}{
+		{"tRCD", func(m *config.Mem) { m.Timing.TRCD += ns }, check.RuleTRCD},
+		{"tRAS", func(m *config.Mem) { m.Timing.TRAS += 2 * ns }, check.RuleTRAS},
+		{"tRP", func(m *config.Mem) { m.Timing.TRP += 2 * ns }, check.RuleTRP},
+		{"tRRD-eff", func(m *config.Mem) { m.Timing.TRRD += 8 * ns }, check.RuleTRRD},
+		{"tFAW", func(m *config.Mem) { m.Timing.TFAW += 400 * ns }, check.RuleTFAW},
+		{"tRFC", func(m *config.Mem) { m.Timing.TRFC += 100 * ns }, check.RuleTRFC},
+		{"refresh-early", func(m *config.Mem) { m.Timing.TREFI += 400 * ns }, check.RuleRefEarly},
+		// Disabling window scaling in the checker only: a (4,1) device
+		// legally issues μbank ACTs faster than a conventional bank
+		// may, which the unscaled checker must flag.
+		{"act-window-scaling", func(m *config.Mem) { m.Timing.NoActWindowScaling = true }, check.RuleTRRD},
+	}
+	for _, tc := range corruptions {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mem := config.MemPreset(config.LPDDRTSI, 4, 1)
+			ckCfg := mem
+			tc.corrupt(&ckCfg)
+			ck := check.New(ckCfg, check.ModeCollect)
+			ck.MaxViolations = 64
+			runWithChecker(t, mem, ck)
+			found := false
+			for _, r := range rules(ck) {
+				if r == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("corrupting %s produced rules %v, want %v present (total %d violations)",
+					tc.name, rules(ck), tc.want, ck.Total())
+			}
+		})
+	}
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

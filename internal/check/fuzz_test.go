@@ -1,0 +1,70 @@
+package check_test
+
+// FuzzTimingConfig drives randomized memory-system configurations
+// (interface × nW×nB × page policy × scheduler × interleaving ×
+// refresh mode) through short simulations with the sanitizer fatal, so
+// the fuzzer halts at the exact first command that breaks a timing
+// constraint. CI runs a short -fuzz smoke on top of the seed corpus;
+// `go test` alone replays the seeds as regular regression cases.
+
+import (
+	"testing"
+
+	"microbank/internal/check"
+	"microbank/internal/config"
+	"microbank/internal/obs"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+func FuzzTimingConfig(f *testing.F) {
+	// Seed corpus: the shipped defaults plus the historically tricky
+	// corners (per-bank refresh, perfect policy's retroactive PRE,
+	// unscaled windows, extreme partitioning, line interleaving).
+	f.Add(uint8(2), uint8(1), uint8(3), uint8(0), uint8(1), uint8(13), false, false, false, int64(42))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(6), false, false, false, int64(1))
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(6), uint8(2), uint8(10), true, true, false, int64(7))
+	f.Add(uint8(1), uint8(2), uint8(2), uint8(2), uint8(0), uint8(11), false, false, true, int64(3))
+	f.Add(uint8(2), uint8(3), uint8(1), uint8(1), uint8(1), uint8(8), true, false, false, int64(9))
+
+	workloads := []string{"429.mcf", "470.lbm", "453.povray"}
+
+	f.Fuzz(func(t *testing.T, ifaceB, nwExp, nbExp, polB, schB, ibB uint8,
+		perBank, xor, noScale bool, seed int64) {
+		iface := config.Interfaces()[int(ifaceB)%3]
+		nW := 1 << (int(nwExp) % 5) // 1..16
+		nB := 1 << (int(nbExp) % 5)
+		pol := config.PagePolicy(int(polB) % 7)
+		sch := config.Scheduler(int(schB) % 3)
+
+		mem := config.MemPreset(iface, nW, nB)
+		mem.Timing.PerBankRefresh = perBank
+		mem.Timing.NoActWindowScaling = noScale
+		if mem.Validate() != nil {
+			t.Skip("invalid fuzzed organization")
+		}
+		sys := config.SingleCore(mem)
+		sys.Ctrl.PagePolicy = pol
+		sys.Ctrl.Scheduler = sch
+		// Interleave bit in [6, 13]; memctrl clamps to the μbank row.
+		sys.Ctrl.InterleaveBit = 6 + int(ibB)%8
+		sys.Ctrl.XORBankHash = xor
+
+		wl := workloads[uint64(seed)%uint64(len(workloads))]
+		spec := system.UniformSpec(sys, workload.MustGet(wl), 6000, seed)
+		spec.WarmupInstr = 3000
+
+		// Fatal mode: any protocol violation panics at the offending
+		// command, which the fuzzer reports with this input.
+		ck := check.New(sys.Mem, check.ModeFatal)
+		o := obs.NewObserver()
+		o.AddTracer(ck)
+		spec.Obs = o
+		if _, err := system.Run(spec); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if ck.Commands() == 0 {
+			t.Fatalf("checker observed no commands")
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Package golden is a byte-exact fixture harness for the simulator's
+// machine-readable run reports. Tests render a report to JSON and
+// Check it against a committed file under testdata/; any drift —
+// metric values, table formatting, schema — fails with a line diff.
+// Because every simulation is deterministic (explicit seeds, ordered
+// reductions at any parallelism, read-only observability), a golden
+// mismatch means the change altered simulation results, not noise.
+//
+// Regenerate fixtures deliberately with UPDATE_GOLDEN=1 (see
+// EXPERIMENTS.md); on mismatch the observed bytes are written next to
+// the fixture as <name>.got.json so CI can upload them as artifacts.
+package golden
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// UpdateEnv is the environment variable that switches Check from
+// comparing fixtures to rewriting them.
+const UpdateEnv = "UPDATE_GOLDEN"
+
+// Update reports whether fixtures should be regenerated.
+func Update() bool { return os.Getenv(UpdateEnv) == "1" }
+
+// Check compares got against the fixture at path (relative to the
+// test's working directory, conventionally "testdata/<name>.json").
+// With UPDATE_GOLDEN=1 it (re)writes the fixture instead and logs the
+// action. On mismatch it writes got to <path minus .json>.got.json and
+// fails the test with a focused line diff.
+func Check(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if Update() {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		t.Logf("golden: wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing fixture %s (regenerate with %s=1 go test ./...): %v",
+			path, UpdateEnv, err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	gotPath := strings.TrimSuffix(path, ".json") + ".got.json"
+	if werr := os.WriteFile(gotPath, got, 0o644); werr == nil {
+		t.Logf("golden: observed output written to %s", gotPath)
+	}
+	t.Errorf("golden: %s drifted from fixture:\n%s\nIf the change is intended, regenerate with %s=1 go test ./...",
+		path, Diff(want, got), UpdateEnv)
+}
+
+// Diff renders a compact line-oriented diff: the first differing line
+// with up to three lines of shared context before it and up to four
+// differing/following lines from each side, plus a summary of total
+// line counts. It is meant for test logs, not patching.
+func Diff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	i := 0
+	for i < len(wl) && i < len(gl) && wl[i] == gl[i] {
+		i++
+	}
+	if i == len(wl) && i == len(gl) {
+		return "(contents equal)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first difference at line %d (fixture %d lines, got %d lines)\n",
+		i+1, len(wl), len(gl))
+	for c := max(0, i-3); c < i; c++ {
+		fmt.Fprintf(&b, "  %4d   %s\n", c+1, wl[c])
+	}
+	for c := i; c < min(len(wl), i+4); c++ {
+		fmt.Fprintf(&b, "  %4d - %s\n", c+1, wl[c])
+	}
+	for c := i; c < min(len(gl), i+4); c++ {
+		fmt.Fprintf(&b, "  %4d + %s\n", c+1, gl[c])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,190 @@
+package golden_test
+
+// Golden regression fixtures over the machine-readable run reports:
+// one fixture per shipped memory configuration, one for the headline
+// experiment at quick fidelity, and one Fig. 10 representative
+// configuration. Each fixture pins the exact report bytes — metrics at
+// full float precision plus the rendered summary table — so any change
+// to simulation results, energy accounting, or report formatting shows
+// up as a reviewed diff instead of silent drift. Runs execute under
+// the fatal protocol checker, so the fixtures double as a protocol
+// gate; byte-stability across -j widths and observed/unobserved runs
+// is asserted explicitly.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"microbank/internal/check"
+	"microbank/internal/check/golden"
+	"microbank/internal/config"
+	"microbank/internal/experiments"
+	"microbank/internal/obs"
+	"microbank/internal/stats"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+// goldenInstr is the fixture budget: small enough that the whole
+// matrix runs in about a second, large enough to exercise refresh
+// (the 30 k-instruction runs span several tREFI).
+const goldenInstr = 30000
+
+// runShipped simulates one shipped configuration and returns its
+// result. With observed, the run additionally carries a fatal protocol
+// checker, a Chrome tracer, and an epoch sampler — all read-only, so
+// results must be bit-identical either way.
+func runShipped(t *testing.T, sc experiments.ShippedConfig, observed bool) system.Result {
+	t.Helper()
+	sys := config.SingleCore(sc.Mem())
+	spec := system.UniformSpec(sys, workload.MustGet("429.mcf"), goldenInstr, 42)
+	spec.WarmupInstr = goldenInstr / 2
+	if observed {
+		o := obs.NewObserver()
+		o.AddTracer(check.New(sys.Mem, check.ModeFatal))
+		o.EnableChromeTrace()
+		o.EnableSampling(sys.CoreClock().Period() * 2500)
+		spec.Obs = o
+	}
+	res, err := system.Run(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name(), err)
+	}
+	return res
+}
+
+// reportBytes renders the canonical run report for one result: the
+// same summary table and metric set `microbank -exp run -report` emits.
+func reportBytes(t *testing.T, title string, res system.Result) []byte {
+	t.Helper()
+	r := experiments.NewReport("golden", experiments.Options{Quick: true, Seed: 42, Instr: goldenInstr})
+	tb := stats.NewTable(title, "Metric", "Value")
+	tb.AddRow("IPC", res.IPC)
+	tb.AddRow("MAPKI", res.MAPKI)
+	tb.AddRow("Row-buffer hit rate", res.RowHitRate)
+	tb.AddRow("Avg read latency (ns)", res.AvgReadLatencyNS)
+	tb.AddRow("EDP (J·s)", fmt.Sprintf("%.3e", res.Breakdown.EDPJs()))
+	r.AddTable(tb)
+	r.SetMetric("ipc", res.IPC)
+	r.SetMetric("mapki", res.MAPKI)
+	r.SetMetric("row_hit_rate", res.RowHitRate)
+	r.SetMetric("avg_read_latency_ns", res.AvgReadLatencyNS)
+	r.SetMetric("pred_hit_rate", res.PredHitRate)
+	r.SetMetric("edp_js", res.Breakdown.EDPJs())
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	return b
+}
+
+// TestGoldenShippedRunReports pins one run report per shipped
+// configuration. The runs execute under the fatal checker, so a
+// timing-protocol regression fails here even before the diff.
+func TestGoldenShippedRunReports(t *testing.T) {
+	for _, sc := range experiments.ShippedConfigs() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			res := runShipped(t, sc, true)
+			got := reportBytes(t, "golden run: "+sc.Name(), res)
+			golden.Check(t, "testdata/run_"+sc.Name()+".json", got)
+		})
+	}
+}
+
+// TestGoldenObservedMatchesUnobserved asserts the observability layer
+// (checker included) never perturbs results: the report bytes of an
+// observed and an unobserved run are identical.
+func TestGoldenObservedMatchesUnobserved(t *testing.T) {
+	t.Parallel()
+	sc := experiments.ShippedConfig{Interface: config.LPDDRTSI, NW: 2, NB: 8}
+	plain := reportBytes(t, "golden run: "+sc.Name(), runShipped(t, sc, false))
+	observed := reportBytes(t, "golden run: "+sc.Name(), runShipped(t, sc, true))
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("observed run drifted from unobserved run:\n%s", golden.Diff(plain, observed))
+	}
+}
+
+// headlineReport runs the headline experiment at the given parallelism
+// and renders its report with the parallelism echo normalized, so the
+// bytes are comparable across -j widths.
+func headlineReport(t *testing.T, jobs int) []byte {
+	t.Helper()
+	o := experiments.Options{Quick: true, Seed: 42, Parallelism: jobs}
+	h, err := experiments.Headline(o)
+	if err != nil {
+		t.Fatalf("headline: %v", err)
+	}
+	r := experiments.NewReport("headline", o)
+	r.Parallelism = 0 // normalize the echo: results are -j-invariant
+	r.AddTable(experiments.HeadlineTable(h))
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	return b
+}
+
+// TestGoldenHeadlineQuick pins `-exp headline -quick` and proves the
+// harness is byte-stable at any -j.
+func TestGoldenHeadlineQuick(t *testing.T) {
+	t.Parallel()
+	serial := headlineReport(t, 1)
+	wide := headlineReport(t, runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("headline report differs between -j1 and -j%d:\n%s",
+			runtime.GOMAXPROCS(0), golden.Diff(serial, wide))
+	}
+	golden.Check(t, "testdata/headline_quick.json", serial)
+}
+
+// TestGoldenFig10Config pins one Fig. 10 representative configuration:
+// 450.soplex on LPDDR-TSI (2,8) normalized to its own (1,1) baseline,
+// the per-workload convention of the figure.
+func TestGoldenFig10Config(t *testing.T) {
+	t.Parallel()
+	run := func(nW, nB int) system.Result {
+		return runShipped(t, experiments.ShippedConfig{Interface: config.LPDDRTSI, NW: nW, NB: nB}, true)
+	}
+	o := experiments.Options{Quick: true, Seed: 42, Instr: goldenInstr}
+	base, err := system.Run(fig10Spec(o, 1, 1))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	ub, err := system.Run(fig10Spec(o, 2, 8))
+	if err != nil {
+		t.Fatalf("ubank: %v", err)
+	}
+	_ = run // runShipped covers the absolute fixtures; here we pin ratios
+	r := experiments.NewReport("fig10", o)
+	tb := stats.NewTable("golden Fig. 10 point: 450.soplex, LPDDR-TSI (2,8) vs (1,1)",
+		"Metric", "Value")
+	tb.AddRow("RelIPC", ub.IPC/base.IPC)
+	tb.AddRow("Rel1/EDP", base.Breakdown.EDPJs()/ub.Breakdown.EDPJs())
+	tb.AddRow("RowHit", ub.RowHitRate)
+	tb.AddRow("ACT/PRE (W)", ub.Breakdown.ActPreW())
+	r.AddTable(tb)
+	r.SetMetric("rel_ipc", ub.IPC/base.IPC)
+	r.SetMetric("rel_inv_edp", base.Breakdown.EDPJs()/ub.Breakdown.EDPJs())
+	r.SetMetric("row_hit_rate", ub.RowHitRate)
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	golden.Check(t, "testdata/fig10_lpddr-tsi_2x8_450.soplex.json", b)
+}
+
+// fig10Spec builds the Fig. 10 single-core spec for 450.soplex with a
+// fatal checker attached.
+func fig10Spec(o experiments.Options, nW, nB int) system.Spec {
+	sys := config.SingleCore(config.MemPreset(config.LPDDRTSI, nW, nB))
+	spec := system.UniformSpec(sys, workload.MustGet("450.soplex"), o.Instr, o.Seed)
+	spec.WarmupInstr = o.Instr / 2
+	obsv := obs.NewObserver()
+	obsv.AddTracer(check.New(sys.Mem, check.ModeFatal))
+	spec.Obs = obsv
+	return spec
+}

@@ -1,0 +1,153 @@
+package check_test
+
+// The protocol gate behind `make check-protocol`: every shipped memory
+// configuration (all three interfaces × representative μbank points ×
+// both refresh modes), plus a page-policy/scheduler sweep and a
+// multicore multi-channel run, executes under the sanitizer and must
+// produce zero violations. On failure the violations are also written
+// to protocol-violations.log so CI can upload them as an artifact.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"microbank/internal/check"
+	"microbank/internal/config"
+	"microbank/internal/experiments"
+	"microbank/internal/obs"
+	"microbank/internal/system"
+	"microbank/internal/workload"
+)
+
+// violationLog accumulates failures across parallel subtests for the
+// CI artifact.
+var violationLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func logViolations(name string, ck *check.Checker) {
+	violationLog.mu.Lock()
+	defer violationLog.mu.Unlock()
+	violationLog.lines = append(violationLog.lines,
+		fmt.Sprintf("== %s: %d violation(s) in %d commands", name, ck.Total(), ck.Commands()))
+	for _, v := range ck.Violations() {
+		violationLog.lines = append(violationLog.lines, "  "+v.String())
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if len(violationLog.lines) > 0 {
+		var b []byte
+		for _, l := range violationLog.lines {
+			b = append(b, l...)
+			b = append(b, '\n')
+		}
+		os.WriteFile("protocol-violations.log", b, 0o644)
+	} else {
+		os.Remove("protocol-violations.log")
+	}
+	os.Exit(code)
+}
+
+// checkedRun simulates spec with a collect-mode checker attached and
+// fails the test on any violation.
+func checkedRun(t *testing.T, name string, sys config.System, spec system.Spec) {
+	t.Helper()
+	ck := check.New(sys.Mem, check.ModeCollect)
+	o := obs.NewObserver()
+	o.AddTracer(ck)
+	spec.Obs = o
+	if _, err := system.Run(spec); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ck.Commands() == 0 {
+		t.Fatalf("checker observed no commands; tracer not wired")
+	}
+	if err := ck.Err(); err != nil {
+		logViolations(name, ck)
+		t.Errorf("%v", err)
+	}
+}
+
+// TestProtocolShippedConfigs is the matrix the Makefile's
+// check-protocol target enforces.
+func TestProtocolShippedConfigs(t *testing.T) {
+	for _, sc := range experiments.ShippedConfigs() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			sys := config.SingleCore(sc.Mem())
+			spec := system.UniformSpec(sys, workload.MustGet("429.mcf"), 30000, 42)
+			spec.WarmupInstr = 15000
+			checkedRun(t, sc.Name(), sys, spec)
+		})
+	}
+}
+
+// TestProtocolPoliciesAndSchedulers sweeps every page policy (including
+// the perfect oracle, whose retroactively stamped precharges are the
+// trickiest trace ordering) and scheduler on one μbank configuration.
+func TestProtocolPoliciesAndSchedulers(t *testing.T) {
+	policies := []config.PagePolicy{
+		config.OpenPage, config.ClosePage, config.MinimalistOpen,
+		config.PredLocal, config.PredGlobal, config.PredTournament, config.PredPerfect,
+	}
+	scheds := []config.Scheduler{config.SchedFRFCFS, config.SchedPARBS, config.SchedFCFS}
+	for _, pol := range policies {
+		for _, sch := range scheds {
+			pol, sch := pol, sch
+			t.Run(fmt.Sprintf("%s_%s", pol, sch), func(t *testing.T) {
+				t.Parallel()
+				sys := config.SingleCore(config.MemPreset(config.LPDDRTSI, 2, 8))
+				sys.Ctrl.PagePolicy = pol
+				sys.Ctrl.Scheduler = sch
+				spec := system.UniformSpec(sys, workload.MustGet("429.mcf"), 24000, 42)
+				spec.WarmupInstr = 12000
+				checkedRun(t, fmt.Sprintf("policy %s / %s", pol, sch), sys, spec)
+			})
+		}
+	}
+}
+
+// TestProtocolInterleavings covers cache-line interleaving and the XOR
+// bank hash, which reshape the bank access pattern the windows see.
+func TestProtocolInterleavings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ib   int
+		xor  bool
+	}{{"line_ib6", 6, false}, {"row_ib13_xor", 13, true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys := config.SingleCore(config.MemPreset(config.DDR3PCB, 4, 4))
+			sys.Ctrl.InterleaveBit = tc.ib
+			sys.Ctrl.XORBankHash = tc.xor
+			spec := system.UniformSpec(sys, workload.MustGet("470.lbm"), 24000, 42)
+			spec.WarmupInstr = 12000
+			checkedRun(t, tc.name, sys, spec)
+		})
+	}
+}
+
+// TestProtocolMulticore drives every channel of the full 16-channel
+// machine through one checker, exercising the per-channel shadow
+// state and multi-rank DDR3-PCB.
+func TestProtocolMulticore(t *testing.T) {
+	t.Parallel()
+	for _, iface := range []config.Interface{config.DDR3PCB, config.LPDDRTSI} {
+		iface := iface
+		t.Run(iface.String(), func(t *testing.T) {
+			t.Parallel()
+			sys := config.DefaultSystem(config.MemPreset(iface, 2, 8))
+			sys.Cores = 16
+			spec := system.MixSpec(sys, workload.MixHigh(), 8000, 42)
+			spec.WarmupInstr = 4000
+			checkedRun(t, "multicore "+iface.String(), sys, spec)
+		})
+	}
+}

@@ -190,6 +190,29 @@ func (m Mem) Validate() error {
 	return m.Timing.Validate()
 }
 
+// ActWindowScale returns the activation-window widening factor: μbank
+// activations open 1/nW of a full row, so power-delivery windows admit
+// nW× as many of them (unless the ablation flag disables scaling).
+// Both the device model (dram) and the protocol sanitizer (check)
+// derive their tRRD/tFAW handling from this single definition.
+func (m Mem) ActWindowScale() int {
+	if m.Timing.NoActWindowScaling {
+		return 1
+	}
+	return m.Org.NW
+}
+
+// EffectiveTRRD returns the same-rank ACT→ACT spacing the model
+// enforces: tRRD scaled down by the activation size, floored at a 1 ns
+// command slot.
+func (m Mem) EffectiveTRRD() sim.Time {
+	t := m.Timing.TRRD / sim.Time(m.ActWindowScale())
+	if t < sim.Nanosecond {
+		t = sim.Nanosecond
+	}
+	return t
+}
+
 // LineTransferTime returns how long one cache line occupies the channel
 // data bus.
 func (m Mem) LineTransferTime() sim.Time {

@@ -142,18 +142,13 @@ func NewChannel(cfg config.Mem) *Channel {
 		banks: make([]bankState, nBanks),
 		ranks: make([]rankState, cfg.Org.RanksPerChan),
 	}
-	scale := cfg.Org.NW
-	if cfg.Timing.NoActWindowScaling {
-		scale = 1
-	}
+	// The activation-window scaling (tRRD/tFAW over activated bits, not
+	// commands) is shared with the protocol sanitizer via config.
+	scale := cfg.ActWindowScale()
 	for r := range c.ranks {
 		c.ranks[r].actWindow = make([]sim.Time, 4*scale)
 	}
-	// Scale tRRD with activation size, floored at a 1 ns command slot.
-	c.tRRDEff = cfg.Timing.TRRD / sim.Time(scale)
-	if c.tRRDEff < sim.Nanosecond {
-		c.tRRDEff = sim.Nanosecond
-	}
+	c.tRRDEff = cfg.EffectiveTRRD()
 	if cfg.Timing.TREFI > 0 {
 		c.nextRefresh = cfg.Timing.TREFI
 	} else {
@@ -177,6 +172,17 @@ func (c *Channel) SetTracer(t obs.Tracer, channel int) {
 	c.tracer = t
 	c.chanID = channel
 }
+
+// AddTracer attaches one more tracer, fanning out with any tracer
+// already set (obs.MultiTracer). Adding nil changes nothing.
+func (c *Channel) AddTracer(t obs.Tracer, channel int) {
+	c.tracer = obs.CombineTracers(c.tracer, t)
+	c.chanID = channel
+}
+
+// Tracer returns the currently attached tracer (nil when tracing is
+// off; possibly an obs.MultiTracer after AddTracer).
+func (c *Channel) Tracer() obs.Tracer { return c.tracer }
 
 // OpenBanks returns the number of banks currently holding an open row.
 func (c *Channel) OpenBanks() int {

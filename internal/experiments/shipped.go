@@ -1,0 +1,56 @@
+package experiments
+
+// Shipped configurations: the memory-system points CI's protocol gate
+// (make check-protocol) and the golden regression harness cover. They
+// span every modeled processor-memory interface crossed with the
+// paper's representative μbank partitionings, plus LPDDR per-bank
+// refresh variants so both refresh modes stay under the sanitizer.
+
+import (
+	"fmt"
+	"strings"
+
+	"microbank/internal/config"
+)
+
+// ShippedConfig identifies one supported memory configuration.
+type ShippedConfig struct {
+	Interface      config.Interface
+	NW, NB         int
+	PerBankRefresh bool
+}
+
+// Name returns a stable slug used for golden fixture filenames and
+// subtest names, e.g. "lpddr-tsi_2x8_refpb".
+func (s ShippedConfig) Name() string {
+	name := fmt.Sprintf("%s_%dx%d", strings.ToLower(s.Interface.String()), s.NW, s.NB)
+	if s.PerBankRefresh {
+		name += "_refpb"
+	}
+	return name
+}
+
+// Mem builds the configuration's full memory description.
+func (s ShippedConfig) Mem() config.Mem {
+	m := config.MemPreset(s.Interface, s.NW, s.NB)
+	m.Timing.PerBankRefresh = s.PerBankRefresh
+	return m
+}
+
+// ShippedConfigs enumerates every shipped configuration: all three
+// interfaces × the representative (nW,nB) points of Figs. 10/12/13,
+// plus two REFpb variants. Order is fixed (interfaces in paper order,
+// then refresh variants) so sweeps and fixtures stay deterministic.
+func ShippedConfigs() []ShippedConfig {
+	var out []ShippedConfig
+	for _, iface := range config.Interfaces() {
+		for _, cfg := range RepresentativeConfigs {
+			out = append(out, ShippedConfig{Interface: iface, NW: cfg[0], NB: cfg[1]})
+		}
+	}
+	out = append(out,
+		ShippedConfig{Interface: config.LPDDRTSI, NW: 2, NB: 8, PerBankRefresh: true},
+		ShippedConfig{Interface: config.LPDDRTSI, NW: 8, NB: 2, PerBankRefresh: true},
+	)
+	return out
+}

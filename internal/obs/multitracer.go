@@ -1,0 +1,53 @@
+package obs
+
+import "microbank/internal/sim"
+
+// MultiTracer fans every traced command out to several tracers, so the
+// Chrome tracer and the protocol sanitizer (internal/check) can observe
+// the same run. Dispatch is a plain slice walk with no per-event
+// allocation, keeping the observed path cheap; the disabled path stays
+// a single nil check because CombineTracers never wraps fewer than two
+// real tracers.
+
+// MultiTracer is a Tracer that forwards each event to every element,
+// in order.
+type MultiTracer []Tracer
+
+// TraceCmd implements Tracer by fanning out to every element.
+func (m MultiTracer) TraceCmd(channel, bank int, kind CmdKind, row uint32, issue, complete sim.Time) {
+	for _, t := range m {
+		t.TraceCmd(channel, bank, kind, row, issue, complete)
+	}
+}
+
+// CombineTracers merges tracers into one. Nil entries are dropped and
+// nested MultiTracers are flattened; the result is nil when nothing
+// remains, the tracer itself when exactly one remains (so a single
+// tracer never pays fan-out dispatch), and a MultiTracer otherwise.
+func CombineTracers(ts ...Tracer) Tracer {
+	var flat MultiTracer
+	for _, t := range ts {
+		switch tt := t.(type) {
+		case nil:
+			continue
+		case MultiTracer:
+			flat = append(flat, tt...)
+		default:
+			flat = append(flat, t)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return flat
+	}
+}
+
+// AddTracer attaches one more tracer to the observer, fanning out with
+// any tracer already present (Chrome trace + sanitizer, for example).
+func (o *Observer) AddTracer(t Tracer) {
+	o.Tracer = CombineTracers(o.Tracer, t)
+}

@@ -1,0 +1,92 @@
+package obs_test
+
+import (
+	"testing"
+
+	"microbank/internal/obs"
+	"microbank/internal/sim"
+)
+
+// countTracer records how many events it saw and the last event's shape.
+type countTracer struct {
+	n             int
+	channel, bank int
+	kind          obs.CmdKind
+	issue         sim.Time
+}
+
+func (c *countTracer) TraceCmd(channel, bank int, kind obs.CmdKind, row uint32, issue, complete sim.Time) {
+	c.n++
+	c.channel, c.bank, c.kind, c.issue = channel, bank, kind, issue
+}
+
+func TestCombineTracersNilSafety(t *testing.T) {
+	if got := obs.CombineTracers(); got != nil {
+		t.Errorf("CombineTracers() = %v, want nil", got)
+	}
+	if got := obs.CombineTracers(nil, nil); got != nil {
+		t.Errorf("CombineTracers(nil, nil) = %v, want nil", got)
+	}
+	var typedNil obs.Tracer
+	if got := obs.CombineTracers(typedNil); got != nil {
+		t.Errorf("CombineTracers(typed nil) = %v, want nil", got)
+	}
+}
+
+func TestCombineTracersSingleIsIdentity(t *testing.T) {
+	c := &countTracer{}
+	got := obs.CombineTracers(nil, c, nil)
+	if got != obs.Tracer(c) {
+		t.Fatalf("single tracer must come back unwrapped, got %T", got)
+	}
+}
+
+func TestCombineTracersFlattens(t *testing.T) {
+	a, b, c := &countTracer{}, &countTracer{}, &countTracer{}
+	inner := obs.CombineTracers(a, b)
+	outer := obs.CombineTracers(inner, nil, c)
+	m, ok := outer.(obs.MultiTracer)
+	if !ok {
+		t.Fatalf("combined tracer is %T, want MultiTracer", outer)
+	}
+	if len(m) != 3 {
+		t.Fatalf("nested MultiTracer not flattened: len = %d, want 3", len(m))
+	}
+	m.TraceCmd(1, 2, obs.CmdACT, 7, 100, 200)
+	for i, ct := range []*countTracer{a, b, c} {
+		if ct.n != 1 || ct.channel != 1 || ct.bank != 2 || ct.kind != obs.CmdACT || ct.issue != 100 {
+			t.Errorf("tracer %d saw n=%d channel=%d bank=%d kind=%v issue=%d",
+				i, ct.n, ct.channel, ct.bank, ct.kind, ct.issue)
+		}
+	}
+}
+
+func TestObserverAddTracerAccumulates(t *testing.T) {
+	a, b := &countTracer{}, &countTracer{}
+	o := obs.NewObserver()
+	if o.Tracer != nil {
+		t.Fatalf("fresh observer has tracer %T", o.Tracer)
+	}
+	o.AddTracer(a)
+	if o.Tracer != obs.Tracer(a) {
+		t.Fatalf("first AddTracer wrapped the tracer: %T", o.Tracer)
+	}
+	o.AddTracer(b)
+	o.Tracer.TraceCmd(0, 0, obs.CmdRD, 0, 1, 2)
+	if a.n != 1 || b.n != 1 {
+		t.Fatalf("fan-out after second AddTracer: a=%d b=%d, want 1/1", a.n, b.n)
+	}
+}
+
+// TestMultiTracerZeroAlloc pins the fan-out dispatch at zero
+// allocations per event, so attaching the sanitizer alongside the
+// Chrome tracer cannot add GC pressure to the command path.
+func TestMultiTracerZeroAlloc(t *testing.T) {
+	m := obs.CombineTracers(&countTracer{}, &countTracer{}, &countTracer{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.TraceCmd(0, 3, obs.CmdWR, 11, 500, 600)
+	})
+	if allocs != 0 {
+		t.Fatalf("MultiTracer.TraceCmd allocates %v per event, want 0", allocs)
+	}
+}

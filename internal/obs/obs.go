@@ -87,10 +87,12 @@ func (o *Observer) EnableSampling(every sim.Time) *Sampler {
 	return o.Sampler
 }
 
-// EnableChromeTrace attaches a Chrome trace-event tracer and returns it.
+// EnableChromeTrace attaches a Chrome trace-event tracer and returns
+// it. Any tracer already attached (e.g. a protocol checker) keeps
+// receiving events through a MultiTracer fan-out.
 func (o *Observer) EnableChromeTrace() *ChromeTracer {
 	t := NewChromeTracer()
-	o.Tracer = t
+	o.AddTracer(t)
 	return t
 }
 
