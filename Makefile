@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke alloc-guard \
+.PHONY: check build vet test race bench bench-smoke bench-json alloc-guard \
 	check-protocol fuzz-smoke update-golden fmt all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
@@ -24,10 +24,11 @@ race:
 	$(GO) test -race ./...
 
 # Hard zero-alloc gate: fails (not just reports) if the engine's
-# schedule/step or schedule/cancel paths allocate with observability
-# disabled.
+# schedule/step/cancel paths or the controller's eval path (enqueue,
+# batch formation, selection, issue, retirement — with and without an
+# attached obs tracer) allocate in steady state.
 alloc-guard:
-	$(GO) test -run 'ZeroAllocGuard' -count=1 ./internal/sim/
+	$(GO) test -run 'ZeroAllocGuard' -count=1 ./internal/sim/ ./internal/memctrl/
 
 # Fast allocation regression check: the engine hot paths must stay at
 # 0 allocs/op (see EXPERIMENTS.md for recorded baselines).
@@ -55,6 +56,14 @@ update-golden:
 # Full benchmark sweep (figures + substrates), as recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/ ./internal/system/ .
+
+# Machine-readable perf snapshot: runs the scheduler/engine
+# microbenchmarks plus the end-to-end headline run and writes
+# BENCH_<rev>.json (ns/op, allocs/op, simulated-seconds per
+# wall-second) for the current git revision. CI runs this with
+# BENCHTIME=1x as a smoke; use the default for a real baseline.
+bench-json:
+	$(GO) run ./cmd/benchjson $(if $(BENCHTIME),-benchtime $(BENCHTIME),)
 
 fmt:
 	gofmt -l -w .

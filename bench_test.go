@@ -183,6 +183,36 @@ func BenchmarkHeadline(b *testing.B) {
 	b.ReportMetric(h.InvEDPGain, "invEDPgain")
 }
 
+// BenchmarkHeadlineRun is the perf-trajectory anchor recorded by
+// `make bench-json`: one multicore headline-class run (the paper's
+// LPDDR-TSI 2×8 configuration under a mixed SPEC profile) timed end to
+// end. It reports simulated-time-per-wall-time so BENCH_<rev>.json can
+// track simulator throughput, not just ns/op.
+func BenchmarkHeadlineRun(b *testing.B) {
+	var simPS sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+		sys.Cores = 16
+		profs := make([]workload.Profile, sys.Cores)
+		for c := range profs {
+			profs[c] = workload.MustGet([]string{"429.mcf", "470.lbm", "433.milc", "462.libquantum"}[c%4])
+		}
+		spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
+			WarmupInstr: 4000, Seed: 42}
+		res, err := system.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simPS += res.RuntimePS
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(simPS)*1e-12/wall, "sim_s/wall_s")
+	}
+}
+
 // --- Substrate microbenchmarks ---
 
 func BenchmarkSimEngine(b *testing.B) {

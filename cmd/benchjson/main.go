@@ -1,0 +1,173 @@
+// Command benchjson runs the simulator's perf-trajectory benchmark set
+// (engine churn, controller candidate selection, end-to-end headline
+// run) and writes the parsed results — ns/op, B/op, allocs/op, and any
+// custom metrics such as sim_s/wall_s — to BENCH_<rev>.json, so the
+// repository accumulates a machine-readable performance history that
+// future changes can be compared against (`make bench-json`).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchPattern selects the trajectory set: every engine microbenchmark,
+// the controller's best/eval/formBatch loops, and the end-to-end
+// headline run anchor.
+const benchPattern = "BenchmarkEngine|BenchmarkBest|BenchmarkEval|BenchmarkFormBatch|BenchmarkHeadlineRun"
+
+var benchPackages = []string{"./internal/sim", "./internal/memctrl", "."}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BytesOp  float64            `json:"bytes_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<rev>.json schema.
+type File struct {
+	Rev        string   `json:"rev"`
+	Dirty      bool     `json:"dirty"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	BenchTime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = go default; CI uses 1x)")
+	rev := flag.String("rev", "", "revision label for the output file (default: git short HEAD)")
+	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
+	flag.Parse()
+
+	r, dirty := *rev, false
+	if r == "" {
+		r, dirty = gitRev()
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", benchPattern, "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, benchPackages...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: benchmarks failed: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	f := File{
+		Rev:        r,
+		Dirty:      dirty,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		BenchTime:  *benchtime,
+		Benchmarks: parse(&buf),
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + r + ".json"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+}
+
+// gitRev returns the short HEAD hash and whether the worktree is dirty;
+// outside a git checkout it falls back to "dev".
+func gitRev() (rev string, dirty bool) {
+	h, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev", false
+	}
+	s, err := exec.Command("git", "status", "--porcelain").Output()
+	return strings.TrimSpace(string(h)), err == nil && len(bytes.TrimSpace(s)) > 0
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkBest/PARBS-8  216446  5392 ns/op  2186 B/op  24 allocs/op
+//
+// with optional custom metrics interleaved as "<value> <unit>" pairs.
+func parse(r *bytes.Buffer) []Result {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimCPUSuffix(fields[0]), Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// trimCPUSuffix drops the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, so results compare across machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -70,16 +70,34 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// line packs a cache way into 16 bytes so the lookup scan stays within
+// one or two cache lines per set: key folds the validity bit into the
+// tag (tag<<1|1 when valid, 0 when invalid — a single compare tests
+// both), and meta folds the MESI state into the LRU tick
+// (lastUse<<2|state).
 type line struct {
-	tag     uint64
-	state   State
-	lastUse uint64
+	key  uint64
+	meta uint64
 }
+
+func (l *line) valid() bool  { return l.key&1 != 0 }
+func (l *line) tag() uint64  { return l.key >> 1 }
+func (l *line) state() State { return State(l.meta & 3) }
+func (l *line) lastUse() uint64 {
+	return l.meta >> 2
+}
+func (l *line) setState(s State) { l.meta = l.meta&^3 | uint64(s) }
 
 type mshr struct {
 	block   uint64
 	write   bool
+	thread  int
 	waiters []func(at sim.Time)
+	// fillCb is this record's next-level completion callback, created
+	// once when the record is first allocated; because records are
+	// pooled, steady-state misses reuse it instead of closing over the
+	// record again.
+	fillCb func(at sim.Time)
 }
 
 // Cache is one set-associative cache level. Construct with New.
@@ -95,7 +113,11 @@ type Cache struct {
 	setMask   uint64
 	lineShift uint
 
-	mshrs map[uint64]*mshr
+	// mshrs holds the busy miss registers (at most geom.MSHRs, so a
+	// linear scan beats a map and allocates nothing); mshrFree pools
+	// retired records for reuse.
+	mshrs    []*mshr
+	mshrFree []*mshr
 
 	// OnEvict, when set, is called for every line leaving this cache
 	// (capacity eviction or external invalidation) — used for inclusive
@@ -126,17 +148,51 @@ func New(eng *sim.Engine, geom config.CacheGeom, clockPeriod sim.Time, next Fill
 		sets:      make([][]line, nSets),
 		lineShift: uint(bits.TrailingZeros(uint(geom.LineBytes))),
 		setMask:   uint64(nSets - 1),
-		mshrs:     make(map[uint64]*mshr, geom.MSHRs),
+		mshrs:     make([]*mshr, 0, geom.MSHRs),
 	}
 	c.setShift = c.lineShift
+	// One flat backing array for every set: construction cost is two
+	// allocations instead of nSets, and the sets are contiguous.
+	lines := make([]line, nSets*geom.Assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]line, geom.Assoc)
+		c.sets[i] = lines[i*geom.Assoc : (i+1)*geom.Assoc : (i+1)*geom.Assoc]
 	}
 	return c
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// callDone invokes a completion callback carried as a ScheduleArg
+// payload. Func values convert to `any` without boxing, so completions
+// scheduled through it allocate nothing.
+var callDone = func(e *sim.Engine, arg any) { arg.(func(at sim.Time))(e.Now()) }
+
+// findMSHR returns the busy register tracking block, or nil. The busy
+// population is bounded by geom.MSHRs (typically ≤16), so a linear scan
+// is cheaper than a map lookup and allocates nothing.
+func (c *Cache) findMSHR(block uint64) *mshr {
+	for _, m := range c.mshrs {
+		if m.block == block {
+			return m
+		}
+	}
+	return nil
+}
+
+// allocMSHR returns a pooled or fresh record. A fresh record gets its
+// fillCb wired once; pooled reuse keeps steady-state misses closure-free.
+func (c *Cache) allocMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	m := &mshr{}
+	m.fillCb = func(at sim.Time) { c.fill(m, at) }
+	return m
+}
 
 // Block returns addr truncated to its cache-line base.
 func (c *Cache) Block(addr uint64) uint64 { return addr &^ (uint64(c.geom.LineBytes) - 1) }
@@ -148,10 +204,19 @@ func (c *Cache) index(block uint64) (set int, tag uint64) {
 
 func (c *Cache) lookup(block uint64) *line {
 	set, tag := c.index(block)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.state != Invalid && l.tag == tag {
-			return l
+	ways := c.sets[set]
+	want := tag<<1 | 1
+	for i := range ways {
+		if ways[i].key == want {
+			// Transpose one step toward the front. Position within a set
+			// carries no semantics — replacement uses the unique LRU
+			// ticks and any invalid slot is as good as another — so this
+			// is free to migrate hot lines to the head of the scan.
+			if i > 0 {
+				ways[i], ways[i-1] = ways[i-1], ways[i]
+				return &ways[i-1]
+			}
+			return &ways[0]
 		}
 	}
 	return nil
@@ -160,7 +225,7 @@ func (c *Cache) lookup(block uint64) *line {
 // Probe reports the line's current state without touching LRU order.
 func (c *Cache) Probe(addr uint64) State {
 	if l := c.lookup(c.Block(addr)); l != nil {
-		return l.state
+		return l.state()
 	}
 	return Invalid
 }
@@ -176,20 +241,18 @@ func (c *Cache) Access(addr uint64, write bool, thread int, done func(at sim.Tim
 		c.stats.Accesses++
 		c.stats.Hits++
 		c.useTick++
-		l.lastUse = c.useTick
+		st := l.meta & 3
 		if write {
-			l.state = Modified
-		} else if l.state == Invalid {
-			panic("cache: lookup returned invalid line")
+			st = uint64(Modified)
 		}
+		l.meta = c.useTick<<2 | st
 		if done != nil {
-			at := now + c.latency
-			c.eng.Schedule(at, func(*sim.Engine) { done(at) })
+			c.eng.ScheduleArg(now+c.latency, callDone, done)
 		}
 		return true
 	}
 	// Miss: merge into an in-flight MSHR when possible.
-	if m, ok := c.mshrs[block]; ok {
+	if m := c.findMSHR(block); m != nil {
 		c.stats.Accesses++
 		c.stats.Misses++
 		c.stats.MergedMiss++
@@ -205,26 +268,36 @@ func (c *Cache) Access(addr uint64, write bool, thread int, done func(at sim.Tim
 	}
 	c.stats.Accesses++
 	c.stats.Misses++
-	m := &mshr{block: block, write: write}
+	m := c.allocMSHR()
+	m.block, m.write, m.thread = block, write, thread
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
-	c.mshrs[block] = m
-	c.next(block, write, thread, func(at sim.Time) {
-		c.fill(m, thread, at)
-	})
+	c.mshrs = append(c.mshrs, m)
+	c.next(block, write, thread, m.fillCb)
 	return true
 }
 
-// fill installs the fetched line and releases waiters.
-func (c *Cache) fill(m *mshr, thread int, at sim.Time) {
-	delete(c.mshrs, m.block)
-	c.install(m.block, m.write, thread)
-	end := at + c.latency
-	for _, w := range m.waiters {
-		w := w
-		c.eng.Schedule(end, func(*sim.Engine) { w(end) })
+// fill installs the fetched line, releases waiters, and retires the
+// MSHR back to the pool.
+func (c *Cache) fill(m *mshr, at sim.Time) {
+	for i, b := range c.mshrs {
+		if b == m {
+			last := len(c.mshrs) - 1
+			c.mshrs[i] = c.mshrs[last]
+			c.mshrs[last] = nil
+			c.mshrs = c.mshrs[:last]
+			break
+		}
 	}
+	c.install(m.block, m.write, m.thread)
+	end := at + c.latency
+	for i, w := range m.waiters {
+		c.eng.ScheduleArg(end, callDone, w)
+		m.waiters[i] = nil
+	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 	if c.OnMSHRFree != nil {
 		c.OnMSHRFree()
 	}
@@ -236,16 +309,16 @@ func (c *Cache) install(block uint64, write bool, thread int) {
 	victim := -1
 	for i := range c.sets[set] {
 		l := &c.sets[set][i]
-		if l.state == Invalid {
+		if !l.valid() {
 			victim = i
 			break
 		}
-		if victim < 0 || l.lastUse < c.sets[set][victim].lastUse {
+		if victim < 0 || l.lastUse() < c.sets[set][victim].lastUse() {
 			victim = i
 		}
 	}
 	v := &c.sets[set][victim]
-	if v.state != Invalid {
+	if v.valid() {
 		c.evictLine(set, v)
 	}
 	c.useTick++
@@ -253,21 +326,22 @@ func (c *Cache) install(block uint64, write bool, thread int) {
 	if write {
 		st = Modified
 	}
-	c.sets[set][victim] = line{tag: tag, state: st, lastUse: c.useTick}
+	c.sets[set][victim] = line{key: tag<<1 | 1, meta: c.useTick<<2 | uint64(st)}
 	_ = thread
 }
 
 func (c *Cache) evictLine(set int, v *line) {
-	blockAddr := (v.tag << c.setShift)
+	blockAddr := (v.tag() << c.setShift)
 	c.stats.Evictions++
-	if v.state == Modified && c.wb != nil {
+	if v.state() == Modified && c.wb != nil {
 		c.stats.Writebacks++
 		c.wb(blockAddr, 0)
 	}
 	if c.OnEvict != nil {
 		c.OnEvict(blockAddr)
 	}
-	v.state = Invalid
+	v.key = 0
+	v.setState(Invalid)
 }
 
 // Invalidate removes the block if present (external coherence action),
@@ -279,7 +353,7 @@ func (c *Cache) Invalidate(addr uint64) State {
 	if l == nil {
 		return Invalid
 	}
-	prev := l.state
+	prev := l.state()
 	c.evictLine(set, l)
 	return prev
 }
@@ -291,13 +365,13 @@ func (c *Cache) Downgrade(addr uint64) State {
 	if l == nil {
 		return Invalid
 	}
-	prev := l.state
+	prev := l.state()
 	if prev == Modified && c.wb != nil {
 		c.stats.Writebacks++
 		c.wb(c.Block(addr), 0)
 	}
 	if prev == Modified || prev == Exclusive {
-		l.state = Shared
+		l.setState(Shared)
 	}
 	return prev
 }

@@ -257,7 +257,7 @@ func TestCacheBoundedProperty(t *testing.T) {
 		resident := 0
 		for s := 0; s < 16; s++ {
 			for w := 0; w < 4; w++ {
-				if c.sets[s][w].state != Invalid {
+				if c.sets[s][w].state() != Invalid {
 					resident++
 				}
 			}

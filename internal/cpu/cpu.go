@@ -20,6 +20,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"microbank/internal/sim"
@@ -83,10 +84,22 @@ type Core struct {
 	// runCb is allocated once so the per-cycle continuation reschedule
 	// does not allocate a closure per event.
 	runCb func(*sim.Engine)
+	// loadDone[s] resolves the instruction occupying ring slot s; the
+	// ROB-many callbacks are allocated once at construction so issuing a
+	// load does not allocate a fresh completion closure.
+	loadDone []func(at sim.Time)
 
 	// Per-instruction rings, indexed by instruction number % ROB.
 	complete []sim.Time // completion time; sim.Never while unresolved
 	commit   []sim.Time // assigned commit time
+	// robMask is ROB-1 when ROB is a power of two, letting the
+	// per-instruction ring indexing use a mask instead of a 64-bit
+	// modulo; zero otherwise (slot falls back to %).
+	robMask uint64
+	// periodInv is floor(2^64/period), letting the two per-instruction
+	// time→cycle conversions use a 128-bit multiply instead of a 64-bit
+	// divide; zero when period is 1 (cycles returns t directly).
+	periodInv uint64
 
 	issued uint64 // instructions issued so far
 	cursor uint64 // next instruction to receive a commit time
@@ -136,7 +149,23 @@ func New(eng *sim.Engine, p Params, gen workload.Generator, access AccessFunc, o
 		commit:   make([]sim.Time, p.ROB),
 		onFinish: onFinish,
 	}
+	if p.ROB&(p.ROB-1) == 0 {
+		c.robMask = uint64(p.ROB - 1)
+	}
+	if c.period > 1 {
+		c.periodInv, _ = bits.Div64(1, 0, uint64(c.period))
+	}
 	c.runCb = func(e *sim.Engine) { c.run(e.Now()) }
+	// A slot index fully identifies the in-flight load it resolves: the
+	// window admits at most ROB instructions, so slot s can only belong
+	// to one unresolved instruction at a time.
+	c.loadDone = make([]func(at sim.Time), p.ROB)
+	for s := range c.loadDone {
+		c.loadDone[s] = func(at sim.Time) {
+			c.complete[s] = at
+			c.haveLoadResolved()
+		}
+	}
 	return c
 }
 
@@ -160,16 +189,38 @@ func (c *Core) Stats() Stats { return c.stats }
 // Finished reports whether the budget has fully committed.
 func (c *Core) Finished() bool { return c.finished }
 
+// slot maps an instruction number to its ring index.
+func (c *Core) slot(idx uint64) uint64 {
+	if c.robMask != 0 {
+		return idx & c.robMask
+	}
+	return idx % uint64(c.p.ROB)
+}
+
+// cycles returns t/period. periodInv underestimates 2^64/period, so
+// the multiply-high quotient can fall short by a step or two; the
+// remainder loop restores the exact floor for every input.
+func (c *Core) cycles(t sim.Time) uint64 {
+	if c.periodInv == 0 {
+		return uint64(t)
+	}
+	q, _ := bits.Mul64(uint64(t), c.periodInv)
+	for r := uint64(t) - q*uint64(c.period); r >= uint64(c.period); r -= uint64(c.period) {
+		q++
+	}
+	return q
+}
+
 // assignCommits assigns commit times to all resolved instructions in
 // order, honoring commit width.
 func (c *Core) assignCommits() {
 	for c.cursor < c.issued {
-		comp := c.complete[c.cursor%uint64(c.p.ROB)]
+		comp := c.complete[c.slot(c.cursor)]
 		if comp == sim.Never {
 			return
 		}
 		ct := comp
-		cyc := uint64(ct / c.period)
+		cyc := c.cycles(ct)
 		if cyc < c.comCycle {
 			cyc = c.comCycle
 		}
@@ -183,7 +234,7 @@ func (c *Core) assignCommits() {
 		}
 		c.comCycle = cyc
 		c.comCnt++
-		c.commit[c.cursor%uint64(c.p.ROB)] = sim.Time(cyc) * c.period
+		c.commit[c.slot(c.cursor)] = sim.Time(cyc) * c.period
 		c.cursor++
 	}
 }
@@ -200,7 +251,7 @@ func (c *Core) issueConstraint() (sim.Time, bool) {
 				return 0, false // window blocked on an unresolved load
 			}
 		}
-		t = c.commit[oldest%uint64(c.p.ROB)]
+		t = c.commit[c.slot(oldest)]
 	}
 	return t, true
 }
@@ -208,7 +259,7 @@ func (c *Core) issueConstraint() (sim.Time, bool) {
 // nextIssue computes (without reserving) the slot the next instruction
 // would issue in, given earliest time t.
 func (c *Core) nextIssue(t sim.Time) (at sim.Time, cyc uint64, cnt int) {
-	cyc = uint64(t / c.period)
+	cyc = c.cycles(t)
 	cnt = c.issueCnt
 	if cyc < c.issueCycle {
 		cyc = c.issueCycle
@@ -240,16 +291,11 @@ func (c *Core) issueAt(t sim.Time) sim.Time {
 // push records instruction issue with the given completion time.
 func (c *Core) push(complete sim.Time) uint64 {
 	idx := c.issued
-	c.complete[idx%uint64(c.p.ROB)] = complete
-	c.commit[idx%uint64(c.p.ROB)] = sim.Never
+	c.complete[c.slot(idx)] = complete
+	c.commit[c.slot(idx)] = sim.Never
 	c.issued++
 	c.stats.Instructions++
 	return idx
-}
-
-// resolve sets a pending instruction's completion time.
-func (c *Core) resolve(idx uint64, at sim.Time) {
-	c.complete[idx%uint64(c.p.ROB)] = at
 }
 
 // run advances the core until it blocks or finishes. now is the engine
@@ -298,7 +344,7 @@ func (c *Core) run(now sim.Time) {
 		}
 		// Dependent load: wait for the previous load's data.
 		if c.haveLoad && !c.pendAcc.Write && c.rng.Float64() < c.p.DepFrac {
-			prev := c.complete[c.lastLoadIdx%uint64(c.p.ROB)]
+			prev := c.complete[c.slot(c.lastLoadIdx)]
 			if prev == sim.Never && c.lastLoadInWindow() {
 				c.stats.DepStalls++
 				c.waitDep = true
@@ -334,10 +380,7 @@ func (c *Core) run(now sim.Time) {
 		// if the cache rejects us. Completion callbacks are always
 		// asynchronous, so capturing the index early is safe.
 		idx := c.issued
-		accepted := c.access(c.pendAcc.Addr, false, func(at sim.Time) {
-			c.resolve(idx, at)
-			c.haveLoadResolved()
-		})
+		accepted := c.access(c.pendAcc.Addr, false, c.loadDone[c.slot(idx)])
 		if !accepted {
 			c.stats.StallRetry++
 			c.waitRetry = true
@@ -408,7 +451,7 @@ func (c *Core) tryFinish() {
 	c.finished = true
 	last := sim.Time(0)
 	if c.issued > 0 {
-		last = c.commit[(c.issued-1)%uint64(c.p.ROB)]
+		last = c.commit[c.slot(c.issued-1)]
 	}
 	c.stats.FinishAt = last
 	if c.onFinish != nil {

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+	"math/rand"
 	"testing"
 
 	"microbank/internal/sim"
@@ -224,5 +226,37 @@ func TestIPCZeroFinish(t *testing.T) {
 	var s Stats
 	if s.IPC(500) != 0 {
 		t.Fatal("IPC of unfinished core should be 0")
+	}
+}
+
+// TestCyclesMatchesDivision pins the reciprocal-multiply time→cycle
+// conversion to exact integer division across period values and the
+// boundary-adjacent timestamps where an off-by-one would first appear.
+func TestCyclesMatchesDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, period := range []sim.Time{1, 2, 3, 499, 500, 501, 625, 1000, 4000, 7919} {
+		c := &Core{period: period, p: Params{ROB: 32}}
+		if period > 1 {
+			c.periodInv, _ = bits.Div64(1, 0, uint64(period))
+		}
+		check := func(v sim.Time) {
+			if got, want := c.cycles(v), uint64(v/period); got != want {
+				t.Fatalf("period %d: cycles(%d) = %d, want %d", period, v, got, want)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			v := sim.Time(rng.Uint64())
+			check(v)
+			// Exercise exact multiples and their neighbors.
+			k := sim.Time(rng.Uint64() % (1 << 40))
+			base := k * period
+			check(base)
+			check(base + 1)
+			if base > 0 {
+				check(base - 1)
+			}
+		}
+		check(0)
+		check(sim.Time(^uint64(0)))
 	}
 }

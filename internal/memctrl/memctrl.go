@@ -32,12 +32,18 @@ type Request struct {
 	// reads when the line has arrived, for writes when the write has
 	// been accepted by the DRAM (posted).
 	Done func(at sim.Time)
+	// Owner is an opaque caller field carried through the request's
+	// lifetime. The OnRetire hook can use it to map a retiring request
+	// back to the caller's transaction record (e.g. to recycle pooled
+	// write requests, which have no Done callback).
+	Owner any
 
 	arrive  sim.Time
 	loc     addr.Loc
 	bank    int // local bank index within the channel
 	marked  bool
 	ownMiss bool // an ACT/PRE was issued on this request's behalf
+	hit     bool // row-hit status, cached once per selection pass
 	seq     uint64
 }
 
@@ -52,6 +58,7 @@ type decision struct {
 }
 
 type bankCtl struct {
+	idx       int  // this bank's index, for payload-carrying callbacks
 	wantClose bool // close decided; PRE is a schedulable candidate
 	dec       decision
 	minEvent  sim.Event // pending minimalist-open timeout
@@ -116,16 +123,54 @@ type Controller struct {
 	seq           uint64
 	evalScheduled bool
 	wake          sim.Event
-	// kickCb/wakeCb are allocated once in New so the hot kick/wake
-	// paths schedule without a fresh closure per event.
+	// kickCb/wakeCb/minCb are allocated once in New so the hot
+	// kick/wake/timeout paths schedule without a fresh closure per
+	// event (minCb receives its bank through sim.ScheduleArg).
 	kickCb func(*sim.Engine)
 	wakeCb func(*sim.Engine)
+	minCb  func(*sim.Engine, any)
+	trc    sim.Time // cached tRC for the minimalist-open timeout
+
+	// Candidate-selection scratch, pre-sized in New so the per-eval
+	// hot path (best/formBatch) never allocates. winners holds, per
+	// bank, the window index of the highest-priority queued request
+	// during one selection pass (-1 = none; indices rather than
+	// pointers keep the pass free of GC write barriers); passBanks
+	// lists the banks touched this pass in first-seen window order
+	// (the determinism order), and both are cleared on the way out of
+	// best.
+	winners   []int32
+	passBanks []int
+	// passRow caches each touched bank's open row for the duration of
+	// one selection pass (-1 = closed; valid only for banks in
+	// passBanks): bank state cannot change mid-pass, so the channel is
+	// asked once per bank instead of once per window entry.
+	passRow []int64
+	// markedPerThread counts live PAR-BS-marked requests per thread —
+	// the "shortest job first" ranking input — maintained
+	// incrementally at batch formation and retirement instead of
+	// being rebuilt (as a map) on every selection pass. Marked
+	// requests always sit inside the scheduling window (queue
+	// positions only ever decrease), so this equals the old
+	// windowed count.
+	markedPerThread []int
+	// batchScratch is formBatch's per-(thread,bank) counting space:
+	// at most one entry per window slot, reused across formations.
+	batchScratch []tbCount
 
 	stats        Stats
 	lastOccCheck sim.Time
 
 	// bankOccScratch backs BankOccupancy; nil until first observed.
 	bankOccScratch []uint16
+
+	// OnRetire, when set, is called after a request has fully retired:
+	// column access issued, queue slot released, page decision made.
+	// Writes are posted (no Done callback), so this is the only
+	// completion signal a caller can use to recycle write records. For
+	// reads the Done event may still be in flight when OnRetire fires —
+	// callers must not reuse a read record until Done has run.
+	OnRetire func(*Request)
 }
 
 // New builds a controller over a fresh DRAM channel. threads sizes the
@@ -147,12 +192,21 @@ func New(eng *sim.Engine, mem config.Mem, ctl config.Ctrl, threads int) *Control
 	}
 	ch := dram.NewChannel(mem)
 	c := &Controller{
-		eng:    eng,
-		ch:     ch,
-		mapper: mapper,
-		cfg:    ctl,
-		banks:  make([]bankCtl, ch.NumBanks()),
-		pred:   newPagePredictor(ch.NumBanks(), threads),
+		eng:             eng,
+		ch:              ch,
+		mapper:          mapper,
+		cfg:             ctl,
+		banks:           make([]bankCtl, ch.NumBanks()),
+		pred:            newPagePredictor(ch.NumBanks(), threads),
+		winners:         newWinners(ch.NumBanks()),
+		passBanks:       make([]int, 0, ctl.QueueDepth),
+		passRow:         make([]int64, ch.NumBanks()),
+		markedPerThread: make([]int, threads),
+		batchScratch:    make([]tbCount, 0, ctl.QueueDepth),
+		trc:             ch.Config().Timing.TRC(),
+	}
+	for i := range c.banks {
+		c.banks[i].idx = i
 	}
 	c.kickCb = func(e *sim.Engine) {
 		c.evalScheduled = false
@@ -161,6 +215,14 @@ func New(eng *sim.Engine, mem config.Mem, ctl config.Ctrl, threads int) *Control
 	c.wakeCb = func(e *sim.Engine) {
 		c.wake = sim.Event{}
 		c.eval(e.Now())
+	}
+	c.minCb = func(e *sim.Engine, arg any) {
+		b := arg.(*bankCtl)
+		b.minEvent = sim.Event{}
+		if open, _ := c.ch.Open(b.idx); open && b.lastUse <= e.Now()-c.trc {
+			c.markClose(b.idx)
+			c.kick()
+		}
 	}
 	return c
 }
@@ -349,74 +411,134 @@ func (c *Controller) scheduleWake(at sim.Time) {
 	c.wake = c.eng.ScheduleP(at, 2, c.wakeCb)
 }
 
+// Test-only cross-check hooks. When non-nil (installed by the property
+// tests), schedHookBest receives every selection best makes and
+// schedHookBatch every newly formed PAR-BS batch, so the map-based
+// reference implementations in reference_test.go can be compared
+// against the dense-array fast path on live controller state. The nil
+// checks cost nothing measurable on the hot path.
+var (
+	schedHookBatch func(c *Controller)
+	schedHookBest  func(c *Controller, now sim.Time, chosen candidate, found bool)
+)
+
+// newWinners returns a per-bank winner table with every entry empty.
+func newWinners(nbanks int) []int32 {
+	w := make([]int32, nbanks)
+	for i := range w {
+		w[i] = -1
+	}
+	return w
+}
+
+// tbCount is one (thread, bank) tally used during PAR-BS batch
+// formation; the scratch slice holds at most one entry per window slot.
+type tbCount struct{ thread, bank, n int }
+
 // formBatch marks a new PAR-BS batch when the previous one drained:
-// the oldest BatchCap requests per (thread, bank) are marked.
+// the oldest BatchCap requests per (thread, bank) are marked. The
+// window holds at most QueueDepth requests, so a linear scan over the
+// distinct (thread, bank) pairs seen so far beats a map both in time
+// and in allocation (zero).
 func (c *Controller) formBatch() {
 	if c.batchLive > 0 {
 		return
 	}
-	type tb struct{ thread, bank int }
-	counts := map[tb]int{}
+	cnt := c.batchScratch[:0]
 	for _, r := range c.window() {
-		k := tb{r.Thread, r.bank}
-		if counts[k] < c.cfg.BatchCap {
-			counts[k]++
+		idx := -1
+		for i := range cnt {
+			if cnt[i].thread == r.Thread && cnt[i].bank == r.bank {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			cnt = append(cnt, tbCount{thread: r.Thread, bank: r.bank})
+			idx = len(cnt) - 1
+		}
+		if cnt[idx].n < c.cfg.BatchCap {
+			cnt[idx].n++
 			r.marked = true
 			c.batchLive++
+			c.addMarked(r.Thread, 1)
 		}
+	}
+	c.batchScratch = cnt
+	if schedHookBatch != nil {
+		schedHookBatch(c)
 	}
 }
 
-// threadLoad returns, per thread, the number of marked queued requests
-// (PAR-BS "shortest job first" ranking input).
-func (c *Controller) threadLoad() map[int]int {
-	load := map[int]int{}
-	for _, r := range c.window() {
-		if r.marked {
-			load[r.Thread]++
-		}
+// addMarked adjusts the per-thread live marked-request count, growing
+// the table on first sight of a thread id beyond the constructed size.
+func (c *Controller) addMarked(thread, delta int) {
+	if thread >= len(c.markedPerThread) {
+		grown := make([]int, thread+1)
+		copy(grown, c.markedPerThread)
+		c.markedPerThread = grown
 	}
-	return load
+	c.markedPerThread[thread] += delta
 }
 
-// best selects the highest-priority issuable candidate.
+// beats reports whether a takes scheduling priority over b (both
+// target the same bank; row-hit status is cached on the requests by
+// best). It is the former per-pass `order` closure, hoisted so the
+// selection loop carries no captured state.
+func (c *Controller) beats(a, b *Request) bool {
+	switch c.cfg.Scheduler {
+	case config.SchedFCFS:
+		return a.seq < b.seq
+	case config.SchedPARBS:
+		if a.marked != b.marked {
+			return a.marked
+		}
+		if a.hit != b.hit {
+			return a.hit
+		}
+		if a.marked && b.marked {
+			la, lb := c.markedPerThread[a.Thread], c.markedPerThread[b.Thread]
+			if la != lb {
+				return la < lb
+			}
+		}
+		return a.seq < b.seq
+	default: // FR-FCFS
+		if a.hit != b.hit {
+			return a.hit
+		}
+		return a.seq < b.seq
+	}
+}
+
+// best selects the highest-priority issuable candidate. The selection
+// pass is allocation-free: per-bank winners live in the pre-sized
+// winners array (passBanks records which entries are live, in the
+// first-seen window order that fixes determinism), and each request's
+// row-hit status is computed once per pass — bank state cannot change
+// mid-pass — instead of per comparison.
 func (c *Controller) best(now sim.Time) (candidate, bool) {
 	win := c.window()
-	var load map[int]int
-	if c.cfg.Scheduler == config.SchedPARBS {
-		load = c.threadLoad()
-	}
-	// Highest-priority request per bank decides that bank's command.
-	perBank := map[int]*Request{}
-	order := func(a, b *Request) bool { // true if a beats b
-		switch c.cfg.Scheduler {
-		case config.SchedFCFS:
-			return a.seq < b.seq
-		case config.SchedPARBS:
-			if a.marked != b.marked {
-				return a.marked
+	banks := c.passBanks[:0]
+	for wi, r := range win {
+		if cur := c.winners[r.bank]; cur < 0 {
+			open, row := c.ch.Open(r.bank)
+			or := int64(-1)
+			if open {
+				or = int64(row)
 			}
-			ah, bh := c.isRowHit(a), c.isRowHit(b)
-			if ah != bh {
-				return ah
+			c.passRow[r.bank] = or
+			r.hit = or == int64(r.loc.Row)
+			c.winners[r.bank] = int32(wi)
+			banks = append(banks, r.bank)
+		} else {
+			r.hit = c.passRow[r.bank] == int64(r.loc.Row)
+			if c.beats(r, win[cur]) {
+				c.winners[r.bank] = int32(wi)
 			}
-			if a.marked && b.marked && load[a.Thread] != load[b.Thread] {
-				return load[a.Thread] < load[b.Thread]
-			}
-			return a.seq < b.seq
-		default: // FR-FCFS
-			ah, bh := c.isRowHit(a), c.isRowHit(b)
-			if ah != bh {
-				return ah
-			}
-			return a.seq < b.seq
 		}
 	}
-	for _, r := range win {
-		if cur, ok := perBank[r.bank]; !ok || order(r, cur) {
-			perBank[r.bank] = r
-		}
-	}
+	c.passBanks = banks
 	var bestC candidate
 	found := false
 	consider := func(cd candidate) {
@@ -454,14 +576,8 @@ func (c *Controller) best(now sim.Time) (candidate, bool) {
 			bestC = cd
 		}
 	}
-	// Iterate in window order (not map order) for determinism.
-	seen := map[int]bool{}
-	for _, r := range win {
-		if seen[r.bank] {
-			continue
-		}
-		seen[r.bank] = true
-		cd := c.commandFor(r.bank, perBank[r.bank], now)
+	for _, bank := range banks {
+		cd := c.commandForRow(bank, win[c.winners[bank]], c.passRow[bank], now)
 		consider(cd)
 	}
 	// Policy-driven precharges for banks without queued requests,
@@ -477,12 +593,20 @@ func (c *Controller) best(now sim.Time) (candidate, bool) {
 			continue
 		}
 		kept = append(kept, bank)
-		if _, has := perBank[bank]; has {
+		if c.winners[bank] >= 0 {
 			continue
 		}
 		consider(candidate{bank: bank, cmd: dram.CmdPRE, earliest: c.ch.EarliestPRE(bank, now)})
 	}
 	c.closePending = kept
+	// Clear the winners entries touched this pass; passBanks is reused
+	// next pass via the retained backing array.
+	for _, bank := range banks {
+		c.winners[bank] = -1
+	}
+	if schedHookBest != nil {
+		schedHookBest(c, now, bestC, found)
+	}
 	return bestC, found
 }
 
@@ -493,7 +617,18 @@ func (c *Controller) isRowHit(r *Request) bool {
 
 // commandFor computes the next command the bank needs to serve r.
 func (c *Controller) commandFor(bank int, r *Request, now sim.Time) candidate {
-	open, row := c.ch.Open(bank)
+	openRow := int64(-1)
+	if open, row := c.ch.Open(bank); open {
+		openRow = int64(row)
+	}
+	return c.commandForRow(bank, r, openRow, now)
+}
+
+// commandForRow is commandFor with the bank's open row (-1 = closed)
+// already known — best's selection loop has it cached per pass.
+func (c *Controller) commandForRow(bank int, r *Request, openRow int64, now sim.Time) candidate {
+	open := openRow >= 0
+	row := uint32(openRow)
 	cd := candidate{req: r, bank: bank, marked: r.marked}
 	switch {
 	case open && row == r.loc.Row:
@@ -564,13 +699,26 @@ func (c *Controller) serviceColumn(cd candidate, now sim.Time) {
 	if r.marked {
 		c.batchLive--
 		r.marked = false
+		c.addMarked(r.Thread, -1)
 	}
 	b.lastUse = now
 	if r.Done != nil {
-		done := r.Done
-		c.eng.Schedule(doneAt, func(*sim.Engine) { done(doneAt) })
+		// The shared doneCb reads r.Done at fire time (the event fires
+		// exactly at doneAt, so Now() is the completion instant); no
+		// per-request closure needed.
+		c.eng.ScheduleArg(doneAt, doneCb, r)
 	}
 	c.pageDecision(cd.bank, r, now)
+	if c.OnRetire != nil {
+		c.OnRetire(r)
+	}
+}
+
+// doneCb delivers a request's completion callback; it is shared across
+// all requests, receiving the request through the event payload.
+var doneCb = func(e *sim.Engine, arg any) {
+	r := arg.(*Request)
+	r.Done(e.Now())
 }
 
 // removeRequest deletes r from the queue, preserving order.
@@ -652,14 +800,7 @@ func (c *Controller) pageDecision(bank int, r *Request, now sim.Time) {
 func (c *Controller) armMinimalist(bank int, now sim.Time) {
 	c.cancelMinimalist(bank)
 	b := &c.banks[bank]
-	trc := c.ch.Config().Timing.TRC()
-	b.minEvent = c.eng.Schedule(now+trc, func(e *sim.Engine) {
-		b.minEvent = sim.Event{}
-		if open, _ := c.ch.Open(bank); open && b.lastUse <= e.Now()-trc {
-			c.markClose(bank)
-			c.kick()
-		}
-	})
+	b.minEvent = c.eng.ScheduleArg(now+c.trc, c.minCb, b)
 }
 
 // markClose flags a bank for a policy-driven precharge.

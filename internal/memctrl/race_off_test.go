@@ -1,0 +1,7 @@
+//go:build !race
+
+package memctrl
+
+// raceEnabled reports whether the race detector instruments this test
+// binary (its shadow-memory hooks allocate, breaking alloc guards).
+const raceEnabled = false

@@ -1,0 +1,239 @@
+package memctrl
+
+// Map-based reference implementations of the controller's candidate
+// selection and PAR-BS batch formation — the shapes the production code
+// used before the dense-array rewrite — kept as executable
+// documentation of the scheduling policies and cross-checked against
+// the fast path on live controller state by
+// TestSchedulerMatchesMapReference. The production hooks
+// (schedHookBest/schedHookBatch) fire on every selection pass and every
+// batch formation, so a fuzzed run compares the two implementations on
+// thousands of organically reached queue/bank states per scheduler.
+
+import (
+	"math/rand"
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/dram"
+	"microbank/internal/sim"
+)
+
+// referenceThreadLoad rebuilds the per-thread marked-request count the
+// old code computed with a map over the scheduling window each pass.
+func referenceThreadLoad(c *Controller) map[int]int {
+	load := make(map[int]int)
+	for _, r := range c.window() {
+		if r.marked {
+			load[r.Thread]++
+		}
+	}
+	return load
+}
+
+// referenceBest replicates the original map-based selection pass:
+// per-bank winners in a map keyed by bank, row-hit status recomputed
+// per comparison, thread load from referenceThreadLoad, and the same
+// issuable-now/marked/row-hit/age candidate comparison.
+func referenceBest(c *Controller, now sim.Time) (candidate, bool) {
+	load := referenceThreadLoad(c)
+	order := func(a, b *Request) bool {
+		switch c.cfg.Scheduler {
+		case config.SchedFCFS:
+			return a.seq < b.seq
+		case config.SchedPARBS:
+			if a.marked != b.marked {
+				return a.marked
+			}
+			ah, bh := c.isRowHit(a), c.isRowHit(b)
+			if ah != bh {
+				return ah
+			}
+			if a.marked && b.marked {
+				la, lb := load[a.Thread], load[b.Thread]
+				if la != lb {
+					return la < lb
+				}
+			}
+			return a.seq < b.seq
+		default: // FR-FCFS
+			ah, bh := c.isRowHit(a), c.isRowHit(b)
+			if ah != bh {
+				return ah
+			}
+			return a.seq < b.seq
+		}
+	}
+	winners := make(map[int]*Request)
+	var banks []int
+	for _, r := range c.window() {
+		cur, ok := winners[r.bank]
+		switch {
+		case !ok:
+			winners[r.bank] = r
+			banks = append(banks, r.bank)
+		case order(r, cur):
+			winners[r.bank] = r
+		}
+	}
+	var bestC candidate
+	found := false
+	consider := func(cd candidate) {
+		if !found {
+			bestC, found = cd, true
+			return
+		}
+		cdNow, bestNow := cd.earliest <= now, bestC.earliest <= now
+		if cdNow != bestNow {
+			if cdNow {
+				bestC = cd
+			}
+			return
+		}
+		if cdNow {
+			if cd.marked != bestC.marked {
+				if cd.marked {
+					bestC = cd
+				}
+				return
+			}
+			if cd.rowHit != bestC.rowHit {
+				if cd.rowHit {
+					bestC = cd
+				}
+				return
+			}
+			if cd.req != nil && bestC.req != nil && cd.req.seq < bestC.req.seq {
+				bestC = cd
+			}
+			return
+		}
+		if cd.earliest < bestC.earliest {
+			bestC = cd
+		}
+	}
+	for _, bank := range banks {
+		consider(c.commandFor(bank, winners[bank], now))
+	}
+	for _, bank := range c.closePending {
+		b := &c.banks[bank]
+		if !b.wantClose {
+			continue
+		}
+		if open, _ := c.ch.Open(bank); !open {
+			continue
+		}
+		if _, ok := winners[bank]; ok {
+			continue
+		}
+		consider(candidate{bank: bank, cmd: dram.CmdPRE, earliest: c.ch.EarliestPRE(bank, now)})
+	}
+	return bestC, found
+}
+
+// referenceBatchMarks computes the request set the original
+// struct-keyed-map formBatch would mark: the oldest BatchCap window
+// requests per (thread, bank). Valid only immediately after a batch
+// formed (the pre-state had no marked requests — formBatch only runs
+// when batchLive is zero).
+func referenceBatchMarks(c *Controller) map[*Request]bool {
+	cnt := make(map[[2]int]int)
+	marks := make(map[*Request]bool)
+	for _, r := range c.window() {
+		k := [2]int{r.Thread, r.bank}
+		if cnt[k] < c.cfg.BatchCap {
+			cnt[k]++
+			marks[r] = true
+		}
+	}
+	return marks
+}
+
+// TestSchedulerMatchesMapReference fuzzes request queues through a live
+// controller under each scheduler and asserts, at every selection pass,
+// that the dense-array fast path picks exactly the candidate the
+// map-based reference picks — which by induction makes the issued
+// command sequences identical — and, at every PAR-BS batch formation,
+// that the marked set, batchLive, and markedPerThread tallies match the
+// reference marking.
+func TestSchedulerMatchesMapReference(t *testing.T) {
+	for _, sc := range []struct {
+		name string
+		s    config.Scheduler
+	}{{"FCFS", config.SchedFCFS}, {"FRFCFS", config.SchedFRFCFS}, {"PARBS", config.SchedPARBS}} {
+		t.Run(sc.name, func(t *testing.T) {
+			defer func() { schedHookBest, schedHookBatch = nil, nil }()
+			var bestChecks, batchChecks int
+			schedHookBest = func(c *Controller, now sim.Time, chosen candidate, found bool) {
+				refC, refFound := referenceBest(c, now)
+				if refFound != found {
+					t.Fatalf("pass %d at %d: fast path found=%v, reference found=%v",
+						bestChecks, now, found, refFound)
+				}
+				if found && refC != chosen {
+					t.Fatalf("pass %d at %d: fast path chose %+v, reference chose %+v",
+						bestChecks, now, chosen, refC)
+				}
+				bestChecks++
+			}
+			schedHookBatch = func(c *Controller) {
+				marks := referenceBatchMarks(c)
+				live := 0
+				perThread := make(map[int]int)
+				for _, r := range c.window() {
+					if r.marked != marks[r] {
+						t.Fatalf("batch %d: request seq %d marked=%v, reference=%v",
+							batchChecks, r.seq, r.marked, marks[r])
+					}
+					if r.marked {
+						live++
+						perThread[r.Thread]++
+					}
+				}
+				if c.batchLive != live {
+					t.Fatalf("batch %d: batchLive=%d, reference=%d", batchChecks, c.batchLive, live)
+				}
+				for thread, n := range perThread {
+					if c.markedPerThread[thread] != n {
+						t.Fatalf("batch %d: markedPerThread[%d]=%d, reference=%d",
+							batchChecks, thread, c.markedPerThread[thread], n)
+					}
+				}
+				batchChecks++
+			}
+
+			rng := rand.New(rand.NewSource(31 + int64(sc.s)))
+			eng, c, _ := benchController(sc.s, 0)
+			done, total := 0, 0
+			at := sim.Time(0)
+			for burst := 0; burst < 40; burst++ {
+				at += sim.Time(rng.Intn(500)) * sim.Nanosecond
+				n := 1 + rng.Intn(12)
+				for i := 0; i < n; i++ {
+					r := &Request{
+						// A small address range concentrates traffic so
+						// row conflicts, bank contention, and deep
+						// windows all occur.
+						Addr:   (rng.Uint64() % (1 << 22)) &^ 63,
+						Write:  rng.Intn(4) == 0,
+						Thread: rng.Intn(8),
+						Done:   func(sim.Time) { done++ },
+					}
+					total++
+					eng.Schedule(at, func(*sim.Engine) { c.Enqueue(r) })
+				}
+			}
+			eng.Run()
+			if done != total {
+				t.Fatalf("%d of %d requests completed", done, total)
+			}
+			if bestChecks == 0 {
+				t.Fatal("best hook never fired")
+			}
+			if sc.s == config.SchedPARBS && batchChecks == 0 {
+				t.Fatal("batch hook never fired")
+			}
+			t.Logf("%d selection passes, %d batch formations cross-checked", bestChecks, batchChecks)
+		})
+	}
+}

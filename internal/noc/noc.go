@@ -114,32 +114,63 @@ func (m *Mesh) Hops(src, dst int) int {
 	return h + v
 }
 
+// deliverCb invokes a delivery callback carried as a ScheduleArg
+// payload; func values convert to `any` without boxing, so deliveries
+// allocate no closure.
+var deliverCb = func(e *sim.Engine, arg any) { arg.(func(at sim.Time))(e.Now()) }
+
+// claimLink reserves link for a packet departing no earlier than t with
+// the given serialization time, returning the packet's time after the
+// hop.
+func (m *Mesh) claimLink(link int, t, ser sim.Time) sim.Time {
+	depart := t
+	if m.linkFree[link] > depart {
+		depart = m.linkFree[link]
+	}
+	m.linkFree[link] = depart + ser
+	return depart + m.hop
+}
+
 // Send routes a packet of the given size and schedules deliver at the
 // arrival time (contention included). Local delivery (src == dst) still
-// pays one hop of router latency.
+// pays one hop of router latency. The XY walk claims links in place
+// rather than materializing a Path slice, so sending allocates nothing.
 func (m *Mesh) Send(src, dst, bytes int, deliver func(at sim.Time)) {
+	m.check(src)
+	m.check(dst)
 	now := m.eng.Now()
 	m.Packets++
 	m.BytesSent += uint64(bytes)
 	ser := sim.Time(float64(bytes)/m.linkBWps + 0.5)
 	t := now
-	path := m.Path(src, dst)
-	m.TotalHops += uint64(len(path))
-	if len(path) == 0 {
-		at := now + m.hop
-		m.eng.Schedule(at, func(*sim.Engine) { deliver(at) })
-		return
-	}
-	for _, link := range path {
-		depart := t
-		if m.linkFree[link] > depart {
-			depart = m.linkFree[link]
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	hops := uint64(0)
+	for x != dx {
+		if x < dx {
+			t = m.claimLink(m.linkIndex(m.node(x, y), dirEast), t, ser)
+			x++
+		} else {
+			t = m.claimLink(m.linkIndex(m.node(x, y), dirWest), t, ser)
+			x--
 		}
-		m.linkFree[link] = depart + ser
-		t = depart + m.hop
+		hops++
 	}
-	at := t
-	m.eng.Schedule(at, func(*sim.Engine) { deliver(at) })
+	for y != dy {
+		if y < dy {
+			t = m.claimLink(m.linkIndex(m.node(x, y), dirSouth), t, ser)
+			y++
+		} else {
+			t = m.claimLink(m.linkIndex(m.node(x, y), dirNorth), t, ser)
+			y--
+		}
+		hops++
+	}
+	m.TotalHops += hops
+	if hops == 0 {
+		t = now + m.hop
+	}
+	m.eng.ScheduleArg(t, deliverCb, deliver)
 }
 
 // Latency returns the uncongested latency for a packet between two

@@ -36,4 +36,15 @@ func TestScheduleStepZeroAllocGuard(t *testing.T) {
 	}); avg != 0 {
 		t.Errorf("schedule+cancel allocates %.2f allocs/op, want 0", avg)
 	}
+
+	// The payload-carrying form must be equally free when arg is a
+	// pointer (interface conversion of a pointer does not box).
+	afn := func(*Engine, any) {}
+	arg := &struct{ n int }{}
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleArg(e.Now()+1, afn, arg)
+		e.Step()
+	}); avg != 0 {
+		t.Errorf("ScheduleArg+step allocates %.2f allocs/op, want 0", avg)
+	}
 }

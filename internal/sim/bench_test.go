@@ -28,6 +28,27 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineChurn mixes the two realistic event lifecycles — a
+// fired timer and a cancelled-and-reprogrammed wake — against a
+// moderately deep pending population, approximating the controller's
+// per-command event traffic in a multicore run.
+func BenchmarkEngineChurn(b *testing.B) {
+	const depth = 256
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+depth/2, fn) // speculative wake
+		e.Schedule(e.Now()+depth, fn)         // command completion
+		e.Cancel(ev)                          // wake reprogrammed away
+		e.Step()
+	}
+}
+
 // BenchmarkEngineDeepQueue keeps a deep pending population (as a busy
 // multicore run does) so heap reheapification dominates.
 func BenchmarkEngineDeepQueue(b *testing.B) {

@@ -15,10 +15,7 @@
 // reused.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in picoseconds.
 type Time uint64
@@ -36,27 +33,37 @@ const (
 const Never Time = ^Time(0)
 
 // event is the engine-owned record of a scheduled callback. Records
-// are recycled: gen increments every time the record is retired, which
-// invalidates any Event handles still pointing at it.
+// live by value in the engine's slab and are addressed by index —
+// never by pointer, so the slab can grow and the heap nodes stay
+// pointer-free (a pointer per node would drag a GC write barrier into
+// every sift move). Records are recycled: gen increments every time
+// the record is retired, which invalidates any Event handles still
+// naming it.
 type event struct {
-	when     Time
-	priority int
-	seq      uint64
-	gen      uint64
-	fn       func(*Engine)
-	index    int // heap index, -1 once popped or cancelled
+	when Time
+	key  uint64 // packed (priority, seq) same-instant tiebreak
+	gen  uint64
+	fn   func(*Engine)
+	// argFn/arg are the payload-carrying callback form (ScheduleArg):
+	// a shared, pre-allocated function pointer plus a per-event value,
+	// so hot paths that would otherwise close over per-event state
+	// (e.g. one retirement callback per memory request) schedule
+	// without a fresh closure allocation.
+	argFn func(*Engine, any)
+	arg   any
 }
 
 // Event is a handle to a scheduled callback, returned by Schedule and
 // friends. The zero Event is a valid "no event" handle: Cancel on it
 // is a no-op and Pending reports false.
 type Event struct {
-	e   *event
+	eng *Engine
+	id  int32
 	gen uint64
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (ev Event) Pending() bool { return ev.e != nil && ev.gen == ev.e.gen }
+func (ev Event) Pending() bool { return ev.eng != nil && ev.gen == ev.eng.records[ev.id].gen }
 
 // When returns the instant the event is scheduled to fire, or Never if
 // the event already fired, was cancelled, or is the zero handle.
@@ -64,95 +71,185 @@ func (ev Event) When() Time {
 	if !ev.Pending() {
 		return Never
 	}
-	return ev.e.when
+	return ev.eng.records[ev.id].when
 }
 
 // Cancelled reports whether the event was retired (fired or removed)
 // after being scheduled. The zero handle reports false.
-func (ev Event) Cancelled() bool { return ev.e != nil && ev.gen != ev.e.gen }
+func (ev Event) Cancelled() bool { return ev.eng != nil && ev.gen != ev.eng.records[ev.id].gen }
 
-type eventHeap []*event
+// seqBits splits the packed same-instant key: the low bits hold the
+// schedule sequence number and the high bits the biased priority, so
+// the (priority, seq) tiebreak is a single integer compare. 2^40
+// events per engine and 2^24 priority levels are both far beyond any
+// run; packKey enforces the limits with panics rather than silently
+// misordering.
+const (
+	seqBits      = 40
+	priorityBias = 1 << 23 // maps priority [-2^23, 2^23) onto 24 unsigned bits
+	maxSeq       = uint64(1) << seqBits
+)
 
-func (h eventHeap) Len() int { return len(h) }
+// heapNode is one slot of the event queue: the full sort key inlined
+// next to the record's slab index, so sift compares read the heap
+// array sequentially instead of dereferencing two event records per
+// comparison (the pointer chase dominated pop-heavy runs), and node
+// moves are barrier-free because the node holds no pointer.
+type heapNode struct {
+	when Time
+	key  uint64 // priority<<seqBits | seq
+	id   int32
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// nodeLess is the total event order; seq is unique per engine, so the
+// order is strict and pop order is deterministic.
+func nodeLess(a, b *heapNode) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
+	return a.key < b.key
+}
+
+// eventHeap is a 4-ary min-heap over (when, priority, seq), specialized
+// to the concrete node type: sift-up/sift-down hold the moving node in
+// a local and shift the others, so each step is one node copy plus one
+// index write, and nothing passes through an interface (container/heap
+// boxes every Push/Pop operand and dispatches Less/Swap dynamically,
+// which showed up as a measurable fraction of event-bound runs). The
+// 4-ary shape halves the tree depth of the pop-heavy sift-down path;
+// because seq is unique, the event order is a strict total order and
+// pop order is identical for any min-heap arity.
+type eventHeap []heapNode
+
+// up restores the heap property from index i toward the root.
+func (h eventHeap) up(i int) {
+	node := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !nodeLess(&node, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	h[i] = node
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// down restores the heap property from index i toward the leaves,
+// reporting whether the element moved.
+func (h eventHeap) down(i int) bool {
+	node, start, n := h[i], i, len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		least := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for j := first + 1; j < end; j++ {
+			if nodeLess(&h[j], &h[least]) {
+				least = j
+			}
+		}
+		if !nodeLess(&h[least], &node) {
+			break
+		}
+		h[i] = h[least]
+		i = least
+	}
+	h[i] = node
+	return i > start
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// push appends the record's node and sifts it into position.
+func (h *eventHeap) push(rec *event, id int32) {
+	*h = append(*h, heapNode{rec.when, rec.key, id})
+	h.up(len(*h) - 1)
 }
 
-func (h *eventHeap) Pop() any {
+// pop removes and returns the slab index of the earliest event.
+func (h *eventHeap) pop() int32 {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	id := old[0].id
+	if n > 0 {
+		old[0] = old[n]
+	}
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return id
+}
+
+// remove deletes the event at heap index i (Cancel's path).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old[i] = old[n]
+	}
+	*h = old[:n]
+	if i != n {
+		if !(*h).down(i) {
+			(*h).up(i)
+		}
+	}
 }
 
 // initialHeapCap pre-sizes the event queue so a run reaches its
 // steady-state pending-event count without regrowing the heap slice.
 const initialHeapCap = 512
 
-// eventBlock is how many event records one free-list refill allocates;
-// amortizing record allocation over blocks keeps allocs/op near zero
-// even while the pending-event population is still growing.
+// eventBlock pre-sizes the record slab; the slab then grows by
+// amortized appends, so allocs/op stays near zero even while the
+// pending-event population is still growing.
 const eventBlock = 128
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct one with NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	free   []*event // retired records awaiting reuse
-	seq    uint64
-	fired  uint64
-	halted bool
+	now     Time
+	queue   eventHeap
+	records []event // record slab; Event handles and heap nodes hold indices
+	free    []int32 // retired record indices awaiting reuse
+	seq     uint64
+	fired   uint64
+	halted  bool
 }
 
 // NewEngine returns an engine with time set to zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{queue: make(eventHeap, 0, initialHeapCap)}
+	return &Engine{
+		queue:   make(eventHeap, 0, initialHeapCap),
+		records: make([]event, 0, eventBlock),
+	}
 }
 
-// alloc returns a fresh or recycled event record.
-func (e *Engine) alloc() *event {
+// alloc returns the slab index of a fresh or recycled event record.
+func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
+		id := e.free[n-1]
 		e.free = e.free[:n-1]
-		return ev
+		return id
 	}
-	block := make([]event, eventBlock)
-	for i := range block[1:] {
-		e.free = append(e.free, &block[1+i])
-	}
-	return &block[0]
+	e.records = append(e.records, event{})
+	return int32(len(e.records) - 1)
 }
 
 // recycle retires a record onto the free list, invalidating every
-// outstanding handle to it.
-func (e *Engine) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	e.free = append(e.free, ev)
+// outstanding handle to it. The callback fields are deliberately NOT
+// cleared here: Schedule/ScheduleArg overwrite them at reuse (ScheduleP
+// clears argFn so dispatch cannot see a stale payload callback), which
+// halves the GC write-barrier traffic on the fire path. The stale
+// references keep at most one retired callback per slab slot alive —
+// bounded, and far cheaper than three barrier-ed nil stores per event.
+func (e *Engine) recycle(id int32) {
+	e.records[id].gen++
+	e.free = append(e.free, id)
 }
 
 // Now returns the current simulation time.
@@ -172,18 +269,57 @@ func (e *Engine) Schedule(at Time, fn func(*Engine)) Event {
 
 // ScheduleP enqueues fn at the given absolute time with an explicit
 // priority. Lower priorities fire first among same-instant events.
+// Priority must fit in [-2^23, 2^23).
 func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
-	}
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := e.alloc()
-	ev.when, ev.priority, ev.seq, ev.fn = at, priority, e.seq, fn
+	id := e.alloc()
+	rec := &e.records[id]
+	rec.when, rec.key, rec.fn = at, e.packKey(at, priority), fn
+	rec.argFn = nil // recycle leaves the previous use's fields in place
+	e.queue.push(rec, id)
+	return Event{eng: e, id: id, gen: rec.gen}
+}
+
+// packKey validates the schedule arguments and returns the packed
+// (priority, seq) tiebreak, consuming one sequence number.
+func (e *Engine) packKey(at Time, priority int) uint64 {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	if priority < -priorityBias || priority >= priorityBias {
+		panic(fmt.Sprintf("sim: priority %d outside [%d, %d)", priority, -priorityBias, priorityBias))
+	}
+	if e.seq >= maxSeq {
+		panic("sim: event sequence space exhausted")
+	}
+	key := uint64(priority+priorityBias)<<seqBits | e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Event{e: ev, gen: ev.gen}
+	return key
+}
+
+// ScheduleArg enqueues fn to run at the given absolute time with
+// priority zero, passing arg back at fire time. Because fn can be a
+// shared package-level function and arg a pointer to existing state,
+// this form schedules per-item callbacks (request retirement, per-bank
+// timeouts) without allocating a closure per event.
+func (e *Engine) ScheduleArg(at Time, fn func(*Engine, any), arg any) Event {
+	return e.ScheduleArgP(at, 0, fn, arg)
+}
+
+// ScheduleArgP is ScheduleArg with an explicit same-instant priority.
+// Priority must fit in [-2^23, 2^23).
+func (e *Engine) ScheduleArgP(at Time, priority int, fn func(*Engine, any), arg any) Event {
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	id := e.alloc()
+	rec := &e.records[id]
+	rec.when, rec.key, rec.argFn, rec.arg = at, e.packKey(at, priority), fn, arg
+	// rec.fn may be stale from a prior use; dispatch checks argFn first.
+	e.queue.push(rec, id)
+	return Event{eng: e, id: id, gen: rec.gen}
 }
 
 // After enqueues fn to run delay picoseconds from now.
@@ -197,8 +333,18 @@ func (e *Engine) Cancel(ev Event) {
 	if !ev.Pending() {
 		return
 	}
-	heap.Remove(&e.queue, ev.e.index)
-	e.recycle(ev.e)
+	// A pending record has exactly one queue node; find it by scanning.
+	// The pending population is small (tens of events in steady state),
+	// so the scan is cheaper than maintaining a per-record heap index,
+	// which would put a slab store into every sift move of the far
+	// hotter pop path.
+	for i := range e.queue {
+		if e.queue[i].id == ev.id {
+			e.queue.remove(i)
+			break
+		}
+	}
+	e.recycle(ev.id)
 }
 
 // Halt stops Run/RunUntil after the in-flight event returns.
@@ -210,15 +356,20 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	if ev.when < e.now {
+	id := e.queue.pop()
+	rec := &e.records[id]
+	if rec.when < e.now {
 		panic("sim: event heap corrupted (time went backwards)")
 	}
-	e.now = ev.when
-	fn := ev.fn
-	e.recycle(ev)
+	e.now = rec.when
+	fn, argFn, arg := rec.fn, rec.argFn, rec.arg
+	e.recycle(id)
 	e.fired++
-	fn(e)
+	if argFn != nil {
+		argFn(e, arg)
+	} else {
+		fn(e)
+	}
 	return true
 }
 

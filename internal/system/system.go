@@ -91,12 +91,84 @@ type machine struct {
 	cores  []*cpu.Core
 	l2Wait [][]func() bool // stalled L1 fills per L2
 
+	// txnFree pools retired memTxn records so the steady-state miss and
+	// writeback paths allocate neither closures nor request records.
+	txnFree []*memTxn
+
 	finished int
 	lastEnd  sim.Time
 
 	warmCount int
 	warmTime  sim.Time
 	warmSnap  *rawCounters
+}
+
+// memTxn is a pooled memory-transaction record: one L2 miss (DRAM fill
+// or cache-to-cache transfer) or one dirty writeback. Every leg's
+// callback is wired once when the record is first allocated, so reuse
+// through the pool makes the whole transaction closure-free.
+type memTxn struct {
+	m     *machine
+	ch    int // home memory channel
+	src   int // requester mesh node
+	dst   int // controller mesh node
+	extra sim.Time
+	done  func(at sim.Time)
+	req   memctrl.Request
+
+	// reqArrived fires when the request leg lands at the controller
+	// node: enqueue the embedded DRAM request (read fill or posted
+	// write).
+	reqArrived func(at sim.Time)
+	// sendReply launches the data-bearing reply leg. It serves both as
+	// the cache-to-cache forward (deliver callback of the request leg)
+	// and as the DRAM read's Done callback; both ignore their time
+	// argument, exactly as the closures they replace did.
+	sendReply func(at sim.Time)
+	// replyDone fires when the reply lands back at the requester:
+	// complete the miss and recycle the record.
+	replyDone func(at sim.Time)
+}
+
+// allocTxn returns a pooled or freshly wired transaction record.
+func (m *machine) allocTxn() *memTxn {
+	if n := len(m.txnFree); n > 0 {
+		t := m.txnFree[n-1]
+		m.txnFree[n-1] = nil
+		m.txnFree = m.txnFree[:n-1]
+		return t
+	}
+	t := &memTxn{m: m}
+	t.reqArrived = func(sim.Time) { t.m.ctrls[t.ch].Enqueue(&t.req) }
+	t.sendReply = func(sim.Time) { t.m.mesh.Send(t.dst, t.src, 16+64, t.replyDone) }
+	t.replyDone = func(at sim.Time) {
+		d, extra := t.done, t.extra
+		t.m.recycleTxn(t)
+		d(at + extra)
+	}
+	return t
+}
+
+// recycleTxn returns a finished record to the pool, dropping callback
+// references so pooled records don't pin caller state.
+func (m *machine) recycleTxn(t *memTxn) {
+	t.done = nil
+	t.req.Done = nil
+	t.req.Owner = nil
+	m.txnFree = append(m.txnFree, t)
+}
+
+// reqRetired is the controllers' OnRetire hook. Posted writes have no
+// Done/reply leg, so retirement is their completion: recycle the record
+// here. Read fills recycle on the reply leg instead (their Done event
+// may still be in flight at retirement).
+func (m *machine) reqRetired(r *memctrl.Request) {
+	if r.Done != nil {
+		return
+	}
+	if t, ok := r.Owner.(*memTxn); ok {
+		m.recycleTxn(t)
+	}
 }
 
 // rawCounters is a monotone snapshot used to subtract warm-up activity.
@@ -235,8 +307,11 @@ func build(spec Spec) *machine {
 
 	corePeriod := sys.CoreClock().Period()
 
+	retire := m.reqRetired
 	for ch := 0; ch < channels; ch++ {
-		m.ctrls = append(m.ctrls, memctrl.New(eng, sys.Mem, sys.Ctrl, sys.Cores))
+		ctl := memctrl.New(eng, sys.Mem, sys.Ctrl, sys.Cores)
+		ctl.OnRetire = retire
+		m.ctrls = append(m.ctrls, ctl)
 		m.dirs = append(m.dirs, cache.NewDirectory(max(clusters, 1)))
 	}
 
@@ -360,27 +435,21 @@ func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done
 	}
 	extra := sim.Time(out.ExtraHops) * m.mesh.Latency(src, dst)
 
+	t := m.allocTxn()
+	t.ch, t.src, t.dst, t.extra, t.done = ch, src, dst, extra, done
 	if !out.NeedMem {
 		// Cache-to-cache transfer: request + forwarded line, no DRAM.
-		m.mesh.Send(src, dst, 16, func(sim.Time) {
-			m.mesh.Send(dst, src, 16+64, func(at sim.Time) {
-				done(at + extra)
-			})
-		})
+		m.mesh.Send(src, dst, 16, t.sendReply)
 		return
 	}
-	m.mesh.Send(src, dst, 16, func(sim.Time) {
-		m.ctrls[ch].Enqueue(&memctrl.Request{
-			Addr:   block,
-			Write:  false, // fills read the line; dirtiness lives in the L2
-			Thread: thread,
-			Done: func(sim.Time) {
-				m.mesh.Send(dst, src, 16+64, func(at sim.Time) {
-					done(at + extra)
-				})
-			},
-		})
-	})
+	t.req = memctrl.Request{
+		Addr:   block,
+		Write:  false, // fills read the line; dirtiness lives in the L2
+		Thread: thread,
+		Done:   t.sendReply,
+		Owner:  t,
+	}
+	m.mesh.Send(src, dst, 16, t.reqArrived)
 }
 
 // l2Evicted handles an L2 victim: notify the directory and back-
@@ -398,14 +467,14 @@ func (m *machine) l2Evicted(cluster int, block uint64) {
 	}
 }
 
-// memWrite sends an L2 dirty victim to memory (posted).
+// memWrite sends an L2 dirty victim to memory (posted). The write's
+// transaction record is recycled by the controller's OnRetire hook.
 func (m *machine) memWrite(cluster int, block uint64, thread int) {
 	ch := m.homeChannel(block)
-	src := m.clusterNode(cluster)
-	dst := m.ctrlNode(ch)
-	m.mesh.Send(src, dst, 16+64, func(sim.Time) {
-		m.ctrls[ch].Enqueue(&memctrl.Request{Addr: block, Write: true, Thread: thread})
-	})
+	t := m.allocTxn()
+	t.ch, t.src, t.dst, t.extra, t.done = ch, m.clusterNode(cluster), m.ctrlNode(ch), 0, nil
+	t.req = memctrl.Request{Addr: block, Write: true, Thread: thread, Owner: t}
+	m.mesh.Send(t.src, t.dst, 16+64, t.reqArrived)
 }
 
 // coreWarmed snapshots all counters once every core has crossed its
