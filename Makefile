@@ -7,7 +7,7 @@
 GO ?= go
 
 .PHONY: check build vet test race bench bench-smoke bench-json alloc-guard \
-	check-protocol fuzz-smoke update-golden fmt all-quick
+	check-protocol fuzz-smoke resilience-smoke update-golden fmt all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
 
@@ -41,6 +41,15 @@ bench-smoke:
 # also written to internal/check/protocol-violations.log.
 check-protocol:
 	$(GO) test -run 'TestProtocol' -count=1 ./internal/check/
+
+# Resilience smoke: a sweep with an injected panicking cell must
+# complete under -fail-mode=degrade with exactly one recorded panic
+# failure in the report (see the Resilience section of EXPERIMENTS.md).
+resilience-smoke:
+	$(GO) run ./cmd/microbank -exp headline -quick -instr 4000 \
+		-fail-mode degrade -inject panic:1 -report /tmp/resilience-smoke.json
+	@grep -c '"kind": "panic"' /tmp/resilience-smoke.json | grep -qx 1
+	@echo "resilience smoke: 1 injected panic recorded, sweep degraded cleanly"
 
 # Short randomized-config fuzz of the sanitizer (CI runs this as a
 # smoke; drop -fuzztime for an open-ended session).

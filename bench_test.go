@@ -8,7 +8,9 @@
 package microbank_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"microbank"
 	"microbank/internal/addr"
@@ -200,6 +202,42 @@ func BenchmarkHeadlineRun(b *testing.B) {
 		}
 		spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
 			WarmupInstr: 4000, Seed: 42}
+		res, err := system.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simPS += res.RuntimePS
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(simPS)*1e-12/wall, "sim_s/wall_s")
+	}
+}
+
+// BenchmarkHeadlineRunLimits is BenchmarkHeadlineRun with the full
+// watchdog armed (context, generous deadline, event budget, livelock
+// detector): comparing the two proves the armed watchdog costs no
+// allocations and under 2% runtime (EXPERIMENTS.md records the
+// measured overhead).
+func BenchmarkHeadlineRunLimits(b *testing.B) {
+	lim := &system.Limits{
+		Ctx:          context.Background(),
+		WallClock:    time.Hour,
+		EventBudget:  1 << 40,
+		StallWindows: 4,
+	}
+	var simPS sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+		sys.Cores = 16
+		profs := make([]workload.Profile, sys.Cores)
+		for c := range profs {
+			profs[c] = workload.MustGet([]string{"429.mcf", "470.lbm", "433.milc", "462.libquantum"}[c%4])
+		}
+		spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
+			WarmupInstr: 4000, Seed: 42, Limits: lim}
 		res, err := system.Run(spec)
 		if err != nil {
 			b.Fatal(err)

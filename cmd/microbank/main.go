@@ -24,6 +24,7 @@ import (
 	"microbank/internal/config"
 	"microbank/internal/experiments"
 	"microbank/internal/obs"
+	"microbank/internal/parallel"
 	"microbank/internal/sim"
 	"microbank/internal/stats"
 	"microbank/internal/system"
@@ -54,6 +55,14 @@ func main() {
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 		reportOut  = flag.String("report", "", "write a machine-readable JSON run report to this file")
 		progress   = flag.Bool("progress", false, "print a sweep progress heartbeat to stderr")
+
+		timeout     = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = none); exceeded runs fail with a diagnostic snapshot")
+		eventBudget = flag.Uint64("event-budget", 0, "per-run simulation event budget (0 = none)")
+		retries     = flag.Int("retries", 0, "retry budget per sweep cell for transient failures (deadline trips)")
+		failMode    = flag.String("fail-mode", "fail-fast", "sweep reaction to a failed cell: fail-fast | collect | degrade")
+		journalPath = flag.String("journal", "", "checkpoint completed sweep cells to this JSONL file")
+		resume      = flag.Bool("resume", false, "resume the -journal campaign: completed cells replay from disk, byte-identically")
+		injectSpec  = flag.String("inject", "", "deterministic fault injection for testing, e.g. panic:1,timeout:3 (kinds: panic error timeout budget flaky)")
 	)
 	flag.Parse()
 
@@ -63,6 +72,14 @@ func main() {
 		o.Progress = heartbeat()
 	}
 	svgPrefix = *svgOut
+
+	res, closeJournal, err := buildResilience(*exp, o, *failMode, *retries,
+		*timeout, *eventBudget, *journalPath, *resume, *injectSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbank:", err)
+		os.Exit(1)
+	}
+	o.Res = res
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -87,12 +104,28 @@ func main() {
 	oflags := obsFlags{trace: *traceOut, metrics: *metricsOut, epochCycles: *epochCyc, check: *checkFlag}
 
 	start := time.Now()
-	err := dispatch(*exp, o, report, oflags, *beta, *wl, *nw, *nb, *iface, *policy, *ibit)
+	err = dispatch(*exp, o, report, oflags, *beta, *wl, *nw, *nb, *iface, *policy, *ibit)
+	if res != nil {
+		if report != nil {
+			report.AddFailures(res.Log)
+		}
+		summarizeFailures(res)
+		if res.Journal != nil {
+			fmt.Fprintf(os.Stderr, "microbank: journal: %d cell(s) replayed, %d checkpointed\n",
+				res.Journal.Hits(), res.Journal.Cells())
+		}
+	}
 	if err == nil && report != nil {
 		err = report.WriteFile(*reportOut)
 		if err == nil {
 			fmt.Println("wrote", *reportOut)
 		}
+	}
+	if err == nil {
+		err = res.Err() // collect mode: failures mean a nonzero exit
+	}
+	if cerr := closeJournal(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "microbank:", err)
@@ -102,6 +135,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("(elapsed %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// buildResilience turns the resilience flags into an armed
+// *experiments.Resilience (nil when no flag asks for one, keeping the
+// zero-overhead fail-fast path) plus a journal-close function.
+func buildResilience(exp string, o experiments.Options, failMode string, retries int,
+	timeout time.Duration, eventBudget uint64, journalPath string, resume bool,
+	inject string) (*experiments.Resilience, func() error, error) {
+	noop := func() error { return nil }
+	if resume && journalPath == "" {
+		return nil, nil, fmt.Errorf("-resume needs -journal")
+	}
+	armed := failMode != "fail-fast" || retries > 0 || timeout > 0 || eventBudget > 0 ||
+		journalPath != "" || inject != ""
+	if !armed {
+		return nil, noop, nil
+	}
+	mode, err := parallel.ParseFailMode(failMode)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &experiments.Resilience{Mode: mode, Retries: retries,
+		Timeout: timeout, EventBudget: eventBudget}
+	if err := res.SetInject(inject); err != nil {
+		return nil, nil, err
+	}
+	if journalPath == "" {
+		return res, noop, nil
+	}
+	j, err := experiments.OpenJournal(journalPath, experiments.CampaignKey(exp, o), resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Journal = j
+	return res, j.Close, nil
+}
+
+// summarizeFailures prints the campaign's failure records to stderr
+// (stdout stays reserved for the deterministic tables).
+func summarizeFailures(res *experiments.Resilience) {
+	if res.Log == nil {
+		return
+	}
+	fails := res.Log.Failures()
+	if len(fails) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "microbank: %d sweep cell(s) failed (%d retries):\n",
+		len(fails), res.Log.Retries())
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "microbank:   sweep %d cell %d [%s] %s: %s\n",
+			f.Sweep, f.Cell, f.Kind, f.Digest, f.Error)
+	}
 }
 
 // heartbeat returns a Progress callback that prints a throttled
@@ -256,6 +342,24 @@ func dispatch(exp string, o experiments.Options, report *experiments.Report, of 
 	return nil
 }
 
+// runGuarded converts the sanitizer's fatal-mode panic into the typed
+// error it carries, so a timing violation under -check fatal reports
+// cleanly and exits through main's single error path. Any other panic
+// propagates — a crash of the simulator itself should still dump its
+// stack.
+func runGuarded(spec system.Spec) (res system.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fv, ok := r.(*check.FatalViolation)
+			if !ok {
+				panic(r)
+			}
+			err = fv
+		}
+	}()
+	return system.Run(spec)
+}
+
 // runCustom executes one ad-hoc configuration and prints a summary,
 // attaching the observability layer when -trace / -metrics-out ask
 // for it.
@@ -293,6 +397,7 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	sys.Ctrl.InterleaveBit = ibit
 	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
+	spec.Limits = o.Res.RunLimits()
 
 	var (
 		observer *obs.Observer
@@ -323,9 +428,12 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 			return fmt.Errorf("unknown -check mode %q (off | collect | fatal)", of.check)
 		}
 		spec.Obs = observer
+		if o.Res != nil {
+			o.Res.RegisterMetrics(observer.Registry)
+		}
 	}
 
-	res, err := system.Run(spec)
+	res, err := runGuarded(spec)
 	if err != nil {
 		return err
 	}

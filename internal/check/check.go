@@ -143,6 +143,18 @@ func (v Violation) String() string {
 		uint64(v.Earliest), uint64(v.Ref), uint64(v.Earliest-v.At))
 }
 
+// FatalViolation is the typed value a ModeFatal checker panics with —
+// an error, so a sweep supervisor that recovers worker panics can
+// classify it (errors.As) and report the protocol violation as a
+// structured cell failure instead of tearing down sibling cells; only
+// the CLI's top level turns it into a process exit.
+type FatalViolation struct {
+	V Violation
+}
+
+// Error renders the violation.
+func (e *FatalViolation) Error() string { return "check: " + e.V.String() }
+
 // bankCk is the checker's shadow state for one (μ)bank.
 type bankCk struct {
 	open bool
@@ -277,7 +289,7 @@ func (c *Checker) channel(id int) *chanState {
 func (c *Checker) report(v Violation) {
 	c.total++
 	if c.mode == ModeFatal {
-		panic("check: " + v.String())
+		panic(&FatalViolation{V: v})
 	}
 	max := c.MaxViolations
 	if max == 0 {

@@ -317,9 +317,14 @@ func TestFatalModePanics(t *testing.T) {
 		if r == nil {
 			t.Fatalf("expected panic in ModeFatal")
 		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "tRCD") {
-			t.Fatalf("panic = %v, want message naming tRCD", r)
+		// The panic value is a typed error so sweep supervisors can
+		// classify recovered violations; see FatalViolation.
+		fv, ok := r.(*check.FatalViolation)
+		if !ok {
+			t.Fatalf("panic = %v (%T), want *check.FatalViolation", r, r)
+		}
+		if fv.V.Rule != check.RuleTRCD || !strings.Contains(fv.Error(), "tRCD") {
+			t.Fatalf("violation = %v, want one naming tRCD", fv)
 		}
 	}()
 	cmd(c, 0, obs.CmdRD, 5, m.Timing.TRCD-1)

@@ -37,14 +37,17 @@ type AblationRow struct {
 func AblationScheduler(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
 	scheds := []config.Scheduler{config.SchedFCFS, config.SchedFRFCFS, config.SchedPARBS}
-	results, err := mapRuns(o, scheds, func(sched config.Scheduler) (system.Result, error) {
+	results, failed, err := mapRuns(o, scheds, func(lim *system.Limits, sched config.Scheduler) (system.Result, error) {
 		return runMulti(workload.MixHigh().ForCore, config.LPDDRTSI, 1, 1,
 			func(s *config.System) {
 				s.Ctrl.Scheduler = sched
 				s.Mem.Org.Channels = 2 // concentrate interference
-			}, o)
+			}, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("ablation-scheduler", failed); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
@@ -78,11 +81,14 @@ func AblationQueueDepth(o Options) ([]AblationRow, error) {
 			jobs = append(jobs, job{cfg, depth})
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j job) (system.Result, error) {
 		return runSingle("TPC-H", config.LPDDRTSI, j.cfg[0], j.cfg[1],
-			func(s *config.System) { s.Ctrl.QueueDepth = j.depth }, o)
+			func(s *config.System) { s.Ctrl.QueueDepth = j.depth }, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("ablation-queue-depth", failed); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
@@ -111,11 +117,14 @@ func AblationQueueDepth(o Options) ([]AblationRow, error) {
 func AblationActWindow(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
 	variants := []bool{false, true}
-	results, err := mapRuns(o, variants, func(noScale bool) (system.Result, error) {
+	results, failed, err := mapRuns(o, variants, func(lim *system.Limits, noScale bool) (system.Result, error) {
 		return runSingle("429.mcf", config.LPDDRTSI, 16, 1,
-			func(s *config.System) { s.Mem.Timing.NoActWindowScaling = noScale }, o)
+			func(s *config.System) { s.Mem.Timing.NoActWindowScaling = noScale }, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("ablation-act-window", failed); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
@@ -154,11 +163,14 @@ func AblationBankHash(o Options) ([]AblationRow, error) {
 			jobs = append(jobs, job{cfg, hash})
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j job) (system.Result, error) {
 		return runSingle("TPC-H", config.LPDDRTSI, j.cfg[0], j.cfg[1],
-			func(s *config.System) { s.Ctrl.XORBankHash = j.hash }, o)
+			func(s *config.System) { s.Ctrl.XORBankHash = j.hash }, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("ablation-bank-hash", failed); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
@@ -191,7 +203,7 @@ func AblationRefresh(o Options) ([]AblationRow, error) {
 			jobs = append(jobs, job{cfg, mode})
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j job) (system.Result, error) {
 		return runSingle("470.lbm", config.LPDDRTSI, j.cfg[0], j.cfg[1],
 			func(s *config.System) {
 				switch j.mode {
@@ -201,9 +213,12 @@ func AblationRefresh(o Options) ([]AblationRow, error) {
 				case "per-bank":
 					s.Mem.Timing.PerBankRefresh = true
 				}
-			}, o)
+			}, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("ablation-refresh", failed); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow

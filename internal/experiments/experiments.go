@@ -48,6 +48,11 @@ type Options struct {
 	// goroutines and must be safe for concurrent use; it must not
 	// write to stdout, which carries the deterministic tables.
 	Progress func(done, total int)
+	// Res, when non-nil, arms resilient sweep execution: panic
+	// isolation, per-run limits, retries, failure collection, and
+	// journaled resume. Nil selects the original fail-fast path with
+	// zero overhead.
+	Res *Resilience
 }
 
 func (o Options) withDefaults() Options {
@@ -79,21 +84,23 @@ var Axis = []int{1, 2, 4, 8, 16}
 var RepresentativeConfigs = [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}}
 
 // runSingle executes a single-core, single-channel run (the paper's
-// setup for single-threaded SPEC and DB workloads).
+// setup for single-threaded SPEC and DB workloads). lim, when non-nil,
+// bounds the run (watchdog deadline / event budget / cancellation).
 func runSingle(name string, iface config.Interface, nW, nB int,
-	mut func(*config.System), o Options) (system.Result, error) {
+	mut func(*config.System), o Options, lim *system.Limits) (system.Result, error) {
 	sys := config.SingleCore(config.MemPreset(iface, nW, nB))
 	if mut != nil {
 		mut(&sys)
 	}
 	spec := system.UniformSpec(sys, workload.MustGet(name), o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
+	spec.Limits = lim
 	return system.Run(spec)
 }
 
 // runMulti executes a multicore run with the full channel population.
 func runMulti(profileFor func(core int) workload.Profile, iface config.Interface,
-	nW, nB int, mut func(*config.System), o Options) (system.Result, error) {
+	nW, nB int, mut func(*config.System), o Options, lim *system.Limits) (system.Result, error) {
 	sys := config.DefaultSystem(config.MemPreset(iface, nW, nB))
 	sys.Cores = o.Cores
 	if mut != nil {
@@ -111,7 +118,7 @@ func runMulti(profileFor func(core int) workload.Profile, iface config.Interface
 		instr = 4000
 	}
 	spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
-		WarmupInstr: instr / 2, Seed: o.Seed}
+		WarmupInstr: instr / 2, Seed: o.Seed, Limits: lim}
 	return system.Run(spec)
 }
 
@@ -140,6 +147,10 @@ type GridData struct {
 	Workload string
 	Metric   string // "IPC" or "1/EDP"
 	Rel      map[[2]int]float64
+	// Missing marks cells excluded from a degraded reduction (every
+	// contributing run failed under -fail-mode=collect|degrade). Nil on
+	// healthy sweeps.
+	Missing map[[2]int]bool
 }
 
 // At returns the normalized value at (nW, nB).
@@ -169,7 +180,11 @@ func (g *GridData) Table(title string) *stats.Table {
 	for _, b := range Axis {
 		row := []any{fmt.Sprint(b)}
 		for _, w := range Axis {
-			row = append(row, g.At(w, b))
+			if g.Missing[[2]int{w, b}] {
+				row = append(row, "FAIL")
+			} else {
+				row = append(row, g.At(w, b))
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -208,65 +223,218 @@ type cellMetrics struct {
 // parallel output stays byte-identical to serial. The optional
 // Progress callback observes completions (in completion order, which
 // is schedule-dependent); it never influences results.
-func mapRuns[J any](o Options, jobs []J, run func(J) (system.Result, error)) ([]system.Result, error) {
+//
+// With o.Res nil, the sweep is fail-fast with no overhead and the
+// returned mask is nil. With o.Res armed, the sweep runs resiliently:
+// each cell is one sweep cell under parallel.MapPolicy (panic
+// isolation, retries, per-run limits via the lim argument, journal
+// lookup/record, fault injection), failures are logged as report
+// records, and under collect/degrade the sweep completes with failed
+// cells marked true in the mask (their Result is the zero value).
+func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (system.Result, error)) ([]system.Result, []bool, error) {
 	total := len(jobs)
 	var done atomic.Int64
-	return parallel.Map(context.Background(), o.Parallelism, jobs,
-		func(_ context.Context, j J) (system.Result, error) {
-			r, err := run(j)
-			if err == nil && o.Progress != nil {
-				o.Progress(int(done.Add(1)), total)
+	note := func() {
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), total)
+		}
+	}
+	if o.Res == nil {
+		res, err := parallel.Map(context.Background(), o.Parallelism, jobs,
+			func(_ context.Context, j J) (system.Result, error) {
+				r, err := run(nil, j)
+				if err == nil {
+					note()
+				}
+				return r, err
+			})
+		return res, nil, err
+	}
+
+	r := o.Res
+	base, sweep := r.beginSweep(total)
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Collect is degrade at sweep level: every sweep completes with its
+	// failures logged, and the campaign-level verdict (Resilience.Err)
+	// turns the log into a nonzero exit.
+	mode := parallel.FailDegrade
+	if r.Mode == parallel.FailFast {
+		mode = parallel.FailFast
+	}
+	pol := parallel.Policy{
+		Mode:      mode,
+		Retries:   r.Retries,
+		Backoff:   r.Backoff,
+		Retryable: retryable,
+		Digest: func(i int) string {
+			return fmt.Sprintf("sweep %d cell %d/%d: %+v", sweep, i, total, jobs[i])
+		},
+		OnRetry: func(int, int, error) { r.Log.NoteRetry() },
+	}
+	results, fails, err := parallel.MapPolicy(context.Background(), o.Parallelism, idx, pol,
+		func(_ context.Context, i int) (system.Result, error) {
+			// Journal lookup precedes injection: a resumed cell is not
+			// re-run, so it cannot re-fire an injected fault.
+			if res, ok := r.journalLookup(sweep, i); ok {
+				note()
+				return res, nil
 			}
-			return r, err
+			g := base + i
+			switch r.injectionAt(g) {
+			case "panic":
+				panic(fmt.Sprintf("injected panic at campaign cell %d", g))
+			case "error":
+				return system.Result{}, fmt.Errorf("injected error at campaign cell %d", g)
+			case "flaky":
+				if r.firstAttempt(g) {
+					return system.Result{}, errInjectedTransient
+				}
+			}
+			res, rerr := run(o.limitsFor(g), jobs[i])
+			if rerr != nil {
+				return system.Result{}, rerr
+			}
+			// Only healthy cells are journaled; failed cells re-run (and
+			// re-fail identically) on resume.
+			if jerr := r.journalRecord(sweep, i, res); jerr != nil {
+				return system.Result{}, jerr
+			}
+			note()
+			return res, nil
 		})
+	for _, te := range fails {
+		r.Log.add(failureRecord(sweep, te))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(fails) == 0 {
+		return results, nil, nil
+	}
+	failed := make([]bool, total)
+	for _, te := range fails {
+		failed[te.Index] = true
+	}
+	return results, failed, nil
 }
 
 // runGridCells runs one workload over the full partition grid, fanning
-// the 25 independent cells out over the worker pool.
-func runGridCells(name string, o Options) (map[[2]int]cellMetrics, error) {
+// the 25 independent cells out over the worker pool. Failed cells
+// (resilient sweeps under collect/degrade) are absent from the map and
+// listed in the second return value.
+func runGridCells(name string, o Options) (map[[2]int]cellMetrics, map[[2]int]bool, error) {
 	jobs := make([][2]int, 0, len(Axis)*len(Axis))
 	for _, nB := range Axis {
 		for _, nW := range Axis {
 			jobs = append(jobs, [2]int{nW, nB})
 		}
 	}
-	results, err := mapRuns(o, jobs, func(cfg [2]int) (system.Result, error) {
-		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o)
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, cfg [2]int) (system.Result, error) {
+		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o, lim)
 		if rerr != nil {
 			return system.Result{}, fmt.Errorf("%s (%d,%d): %w", name, cfg[0], cfg[1], rerr)
 		}
 		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cells := make(map[[2]int]cellMetrics, len(jobs))
+	var failedCells map[[2]int]bool
 	for i, cfg := range jobs {
+		if failed != nil && failed[i] {
+			if failedCells == nil {
+				failedCells = map[[2]int]bool{}
+			}
+			failedCells[cfg] = true
+			continue
+		}
 		cells[cfg] = cellMetrics{
 			ipc:    results[i].IPC,
 			edpJs:  results[i].Breakdown.EDPJs(),
 			result: results[i],
 		}
 	}
-	return cells, nil
+	return cells, failedCells, nil
 }
 
 // gridsFor computes the relative-IPC and relative-1/EDP grids for a
 // workload set, averaging per-benchmark normalized values (the paper's
 // per-app-normalize-then-average convention).
+//
+// Healthy sweeps take the original reduction verbatim, so their grids
+// stay byte-identical to the pre-resilience code. When cells failed
+// under collect/degrade, the reduction degrades: each grid point
+// averages over the benchmarks that measured it (a benchmark whose
+// (1,1) base failed contributes nothing), and points with no healthy
+// contributor are marked Missing.
 func gridsFor(set string, o Options) (ipc, invEDP *GridData, err error) {
 	names := specGroup(set, o.Quick)
 	ipc = &GridData{Workload: set, Metric: "IPC", Rel: map[[2]int]float64{}}
 	invEDP = &GridData{Workload: set, Metric: "1/EDP", Rel: map[[2]int]float64{}}
+	type benchCells struct {
+		cells map[[2]int]cellMetrics
+	}
+	all := make([]benchCells, 0, len(names))
+	degraded := false
 	for _, name := range names {
-		cells, cerr := runGridCells(name, o)
+		cells, failedCells, cerr := runGridCells(name, o)
 		if cerr != nil {
 			return nil, nil, cerr
 		}
-		base := cells[[2]int{1, 1}]
-		for k, c := range cells {
-			ipc.Rel[k] += c.ipc / base.ipc / float64(len(names))
-			invEDP.Rel[k] += base.edpJs / c.edpJs / float64(len(names))
+		if len(failedCells) > 0 {
+			degraded = true
+		}
+		all = append(all, benchCells{cells})
+	}
+	if !degraded {
+		for _, bc := range all {
+			base := bc.cells[[2]int{1, 1}]
+			for k, c := range bc.cells {
+				ipc.Rel[k] += c.ipc / base.ipc / float64(len(names))
+				invEDP.Rel[k] += base.edpJs / c.edpJs / float64(len(names))
+			}
+		}
+		return ipc, invEDP, nil
+	}
+	ipcSum := map[[2]int]float64{}
+	edpSum := map[[2]int]float64{}
+	cnt := map[[2]int]int{}
+	for _, bc := range all {
+		base, ok := bc.cells[[2]int{1, 1}]
+		if !ok {
+			continue // base failed: nothing to normalize against
+		}
+		for _, b := range Axis {
+			for _, w := range Axis {
+				k := [2]int{w, b}
+				c, ok := bc.cells[k]
+				if !ok {
+					continue
+				}
+				ipcSum[k] += c.ipc / base.ipc
+				edpSum[k] += base.edpJs / c.edpJs
+				cnt[k]++
+			}
+		}
+	}
+	for _, b := range Axis {
+		for _, w := range Axis {
+			k := [2]int{w, b}
+			if cnt[k] == 0 {
+				if ipc.Missing == nil {
+					ipc.Missing = map[[2]int]bool{}
+					invEDP.Missing = map[[2]int]bool{}
+				}
+				ipc.Missing[k] = true
+				invEDP.Missing[k] = true
+				continue
+			}
+			ipc.Rel[k] = ipcSum[k] / float64(cnt[k])
+			invEDP.Rel[k] = edpSum[k] / float64(cnt[k])
 		}
 	}
 	return ipc, invEDP, nil

@@ -1,0 +1,215 @@
+package experiments
+
+// On-disk sweep journal: an append-only JSONL checkpoint of completed
+// campaign cells. Line 1 is a header binding the journal to a campaign
+// key (experiment + fidelity options + report schema version); each
+// further line is one completed cell's full system.Result. On resume,
+// journaled cells are returned without re-simulation — and because Go's
+// JSON encoding round-trips float64 exactly, a resumed campaign's
+// arithmetic (and therefore its final report) is byte-identical to an
+// uninterrupted run. Failed cells are never journaled, so a resumed
+// campaign re-attempts exactly its missing and failed cells.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"microbank/internal/system"
+)
+
+const (
+	journalMagic   = "microbank-sweep-journal"
+	journalVersion = 1
+)
+
+type journalHeader struct {
+	Journal string `json:"journal"`
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+}
+
+type journalCell struct {
+	Sweep  int           `json:"sweep"`
+	Cell   int           `json:"cell"`
+	Result system.Result `json:"result"`
+}
+
+// CampaignKey identifies a campaign for journal binding: experiment
+// name plus every option that influences results, plus the report
+// schema version (a schema bump invalidates old checkpoints).
+// Parallelism is deliberately excluded — results are identical at any
+// -j width.
+func CampaignKey(experiment string, o Options) string {
+	o = o.withDefaults()
+	return fmt.Sprintf("%s|schema=%d|quick=%v|instr=%d|cores=%d|seed=%d",
+		experiment, reportSchemaVersion, o.Quick, o.Instr, o.Cores, o.Seed)
+}
+
+// Journal is a resumable sweep checkpoint. Safe for concurrent use by
+// sweep workers.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	cells  map[[2]int]system.Result
+	hits   int
+	broken error // sticky write error; surfaces on the next record
+}
+
+// OpenJournal opens a sweep journal at path for the campaign named by
+// key. With resume set and an existing journal present, previously
+// completed cells are loaded (a key mismatch is an error — the journal
+// belongs to a different campaign or code version, and replaying it
+// would silently mix results); a trailing line truncated by a crash is
+// tolerated and dropped. Without resume, any existing file is
+// truncated and a fresh journal started.
+func OpenJournal(path, key string, resume bool) (*Journal, error) {
+	j := &Journal{cells: map[[2]int]system.Result{}}
+	if resume {
+		if err := j.load(path, key); err != nil {
+			return nil, err
+		}
+	}
+	if j.f == nil { // fresh journal (no resume, or nothing to resume)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+		j.w = bufio.NewWriter(f)
+		hdr, _ := json.Marshal(journalHeader{Journal: journalMagic, Version: journalVersion, Key: key})
+		if _, err := j.w.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		if err := j.flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load reads an existing journal and reopens it for appending. Leaves
+// j.f nil when the file does not exist (resume of a fresh campaign).
+func (j *Journal) load(path, key string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	if !sc.Scan() {
+		f.Close()
+		return nil // empty file: treat as fresh
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Journal != journalMagic {
+		f.Close()
+		return fmt.Errorf("journal: %s is not a sweep journal", path)
+	}
+	if hdr.Version != journalVersion {
+		f.Close()
+		return fmt.Errorf("journal: %s has version %d, this build writes %d", path, hdr.Version, journalVersion)
+	}
+	if hdr.Key != key {
+		f.Close()
+		return fmt.Errorf("journal: %s belongs to campaign %q, not %q — results would not be comparable (use a fresh -journal path)",
+			path, hdr.Key, key)
+	}
+	for sc.Scan() {
+		var c journalCell
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			break // truncated tail from an interrupted run: drop it
+		}
+		j.cells[[2]int{c.Sweep, c.Cell}] = c.Result
+	}
+	f.Close()
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = af
+	j.w = bufio.NewWriter(af)
+	return nil
+}
+
+// lookup returns the journaled result of a cell, counting the hit.
+func (j *Journal) lookup(sweep, cell int) (system.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.cells[[2]int{sweep, cell}]
+	if ok {
+		j.hits++
+	}
+	return res, ok
+}
+
+// record appends a completed cell and flushes it to disk, so a kill at
+// any instant loses at most the in-flight line.
+func (j *Journal) record(sweep, cell int, res system.Result) error {
+	line, err := json.Marshal(journalCell{Sweep: sweep, Cell: cell, Result: res})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return j.broken
+	}
+	j.cells[[2]int{sweep, cell}] = res
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.broken = fmt.Errorf("journal: %w", err)
+		return j.broken
+	}
+	return j.flushLocked()
+}
+
+// Hits reports how many cells were served from the journal.
+func (j *Journal) Hits() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Cells reports how many completed cells the journal holds.
+func (j *Journal) Cells() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+func (j *Journal) flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if err := j.w.Flush(); err != nil {
+		j.broken = fmt.Errorf("journal: %w", err)
+		return j.broken
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return fmt.Errorf("journal: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: %w", cerr)
+	}
+	return j.broken
+}

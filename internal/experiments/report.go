@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"microbank/internal/stats"
+	"microbank/internal/system"
 )
 
 // reportSchemaVersion bumps when the JSON layout changes incompatibly.
@@ -35,6 +36,27 @@ type Report struct {
 	Grids     []ReportGrid       `json:"grids,omitempty"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	Artifacts map[string]string  `json:"artifacts,omitempty"`
+
+	// Failures lists cells that failed under -fail-mode=collect|degrade,
+	// with enough structure (kind taxonomy, digest, stack, machine
+	// diagnostic) to debug without rerunning. Absent on healthy runs, so
+	// their reports are byte-identical to pre-resilience output.
+	Failures []ReportFailure `json:"failures,omitempty"`
+}
+
+// ReportFailure is one failed sweep cell. Kind is one of panic,
+// protocol, error, or a system limit kind (deadline, event-budget,
+// livelock, cancelled, stall). Records contain no wall-clock values —
+// a resumed campaign reproduces them byte-for-byte.
+type ReportFailure struct {
+	Sweep    int          `json:"sweep"`
+	Cell     int          `json:"cell"`
+	Kind     string       `json:"kind"`
+	Digest   string       `json:"digest,omitempty"`
+	Attempts int          `json:"attempts"`
+	Error    string       `json:"error"`
+	Stack    string       `json:"stack,omitempty"`
+	Diag     *system.Diag `json:"diag,omitempty"`
 }
 
 // ReportTable mirrors one stats.Table.
@@ -52,11 +74,13 @@ type ReportGrid struct {
 	Cells    []ReportCell `json:"cells"`
 }
 
-// ReportCell is one grid point.
+// ReportCell is one grid point. Failed marks cells excluded from a
+// degraded reduction (their Value is zero, not a measurement).
 type ReportCell struct {
-	NW    int     `json:"nw"`
-	NB    int     `json:"nb"`
-	Value float64 `json:"value"`
+	NW     int     `json:"nw"`
+	NB     int     `json:"nb"`
+	Value  float64 `json:"value"`
+	Failed bool    `json:"failed,omitempty"`
 }
 
 // NewReport starts a report for the named experiment with the given
@@ -96,10 +120,21 @@ func (r *Report) AddGrid(g *GridData) {
 	}
 	for _, b := range Axis {
 		for _, w := range Axis {
-			rg.Cells = append(rg.Cells, ReportCell{NW: w, NB: b, Value: g.At(w, b)})
+			rg.Cells = append(rg.Cells, ReportCell{NW: w, NB: b, Value: g.At(w, b),
+				Failed: g.Missing[[2]int{w, b}]})
 		}
 	}
 	r.Grids = append(r.Grids, rg)
+}
+
+// AddFailures copies the campaign's failure records into the report.
+func (r *Report) AddFailures(log *FailureLog) {
+	if log == nil {
+		return
+	}
+	if fails := log.Failures(); len(fails) > 0 {
+		r.Failures = fails
+	}
 }
 
 // SetMetric records one named scalar (ad-hoc run summaries).

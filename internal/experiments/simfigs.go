@@ -70,11 +70,11 @@ type fig10Job struct {
 	cfg  [2]int
 }
 
-func (j fig10Job) run(o Options) (system.Result, error) {
+func (j fig10Job) run(o Options, lim *system.Limits) (system.Result, error) {
 	if j.name == "" {
-		return runMulti(multiProfile(j.set), config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o)
+		return runMulti(multiProfile(j.set), config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, lim)
 	}
-	return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o)
+	return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, lim)
 }
 
 // Fig10 evaluates the representative μbank configurations on the
@@ -100,8 +100,12 @@ func Fig10(o Options) ([]Fig10Row, error) {
 			jobs = append(jobs, fig10Job{set: set, cfg: cfg})
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j fig10Job) (system.Result, error) { return j.run(o) })
+	results, failed, err := mapRuns(o, jobs,
+		func(lim *system.Limits, j fig10Job) (system.Result, error) { return j.run(o, lim) })
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("fig10", failed); err != nil {
 		return nil, err
 	}
 
@@ -264,20 +268,23 @@ func Fig12(o Options, sets ...string) ([]Fig12Row, error) {
 			}
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j fig12Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig12Job) (system.Result, error) {
 		if j.base {
 			return runSingle(j.name, config.LPDDRTSI, 1, 1, func(s *config.System) {
 				s.Ctrl.PagePolicy = config.OpenPage
 				s.Ctrl.InterleaveBit = 13
-			}, o)
+			}, o, lim)
 		}
 		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1],
 			func(s *config.System) {
 				s.Ctrl.PagePolicy = j.pol
 				s.Ctrl.InterleaveBit = j.iB
-			}, o)
+			}, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("fig12", failed); err != nil {
 		return nil, err
 	}
 
@@ -395,14 +402,17 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			}
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j fig13Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig13Job) (system.Result, error) {
 		mut := func(s *config.System) { s.Ctrl.PagePolicy = j.pol }
 		if j.name == "" {
-			return runMulti(multiProfile(j.w), config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o)
+			return runMulti(multiProfile(j.w), config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, lim)
 		}
-		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o)
+		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("fig13", failed); err != nil {
 		return nil, err
 	}
 
@@ -499,13 +509,16 @@ func Fig14(o Options) ([]Fig14Row, error) {
 			}
 		}
 	}
-	results, err := mapRuns(o, jobs, func(j fig14Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig14Job) (system.Result, error) {
 		if j.name == "" {
-			return runMulti(multiProfile(j.w), j.iface, 1, 1, nil, o)
+			return runMulti(multiProfile(j.w), j.iface, 1, 1, nil, o, lim)
 		}
-		return runSingle(j.name, j.iface, 1, 1, nil, o)
+		return runSingle(j.name, j.iface, 1, 1, nil, o, lim)
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := partialUnsupported("fig14", failed); err != nil {
 		return nil, err
 	}
 
@@ -597,19 +610,43 @@ func Headline(o Options) (HeadlineResult, error) {
 	for _, name := range names {
 		jobs = append(jobs, headlineJob{name: name}, headlineJob{name: name, ubank: true})
 	}
-	results, err := mapRuns(o, jobs, func(j headlineJob) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j headlineJob) (system.Result, error) {
 		if j.ubank {
-			return runSingle(j.name, config.LPDDRTSI, 2, 8, nil, o)
+			return runSingle(j.name, config.LPDDRTSI, 2, 8, nil, o, lim)
 		}
-		return runSingle(j.name, config.DDR3PCB, 1, 1, nil, o)
+		return runSingle(j.name, config.DDR3PCB, 1, 1, nil, o, lim)
 	})
 	var out HeadlineResult
 	if err != nil {
 		return out, err
 	}
+	if failed == nil {
+		for i := range names {
+			base, ub := results[2*i], results[2*i+1]
+			n := float64(len(names))
+			out.IPCGain += ub.IPC / base.IPC / n
+			out.InvEDPGain += base.Breakdown.EDPJs() / ub.Breakdown.EDPJs() / n
+		}
+		return out, nil
+	}
+	// Degraded reduction: a pair with either run failed contributes
+	// nothing; the gains average over the healthy pairs.
+	pairOK := func(i int) bool { return !failed[2*i] && !failed[2*i+1] }
+	healthy := 0
 	for i := range names {
+		if pairOK(i) {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return out, fmt.Errorf("headline: every benchmark pair failed (failure records in the report)")
+	}
+	for i := range names {
+		if !pairOK(i) {
+			continue
+		}
 		base, ub := results[2*i], results[2*i+1]
-		n := float64(len(names))
+		n := float64(healthy)
 		out.IPCGain += ub.IPC / base.IPC / n
 		out.InvEDPGain += base.Breakdown.EDPJs() / ub.Breakdown.EDPJs() / n
 	}

@@ -7,7 +7,9 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -21,12 +23,52 @@ func Width(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerPanic is the value Map re-panics with in the caller's
+// goroutine when a worker panicked: the original panic value plus the
+// item index and the worker's stack at the point of the panic (the
+// re-raise would otherwise show only Map's own frames).
+type WorkerPanic struct {
+	Index int
+	Value any
+	Stack string
+}
+
+// Error renders the panic; WorkerPanic satisfies error so recovered
+// values compose with errors.As in callers that convert panics.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", p.Index, p.Value)
+}
+
+// guard runs f on one item, converting a panic into (value, stack,
+// true) instead of unwinding the worker goroutine.
+func guard[T, R any](ctx context.Context, item T,
+	f func(context.Context, T) (R, error)) (r R, err error, pv any, stack string, panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			pv, stack, panicked = v, string(debug.Stack()), true
+		}
+	}()
+	r, err = f(ctx, item)
+	return
+}
+
 // Map applies f to every element of items using at most Width(width)
 // concurrent workers and returns the results in input order. The first
 // error cancels the derived context and stops workers from starting
 // further items; when several items fail, the error of the
 // lowest-index failure is returned (matching what a serial loop would
 // have reported). On error the partial results are discarded.
+//
+// Worker panics are never swallowed: every in-flight item runs under a
+// recover, the workers drain, and the panic is then re-raised in the
+// caller's goroutine as a *WorkerPanic. The lowest-index guarantee
+// holds for the panic path too — when several items panic, the
+// lowest-index panic is the one re-raised — and a panic outranks any
+// error or cancellation (including a context cancelled while the
+// panicking item was still in flight): a panic marks a bug, so it must
+// surface even when a lower-index error or the parent context has
+// already cancelled the sweep. For panic-isolating semantics (panics
+// reported as values instead of re-raised) use MapPolicy.
 func Map[T, R any](ctx context.Context, width int, items []T,
 	f func(context.Context, T) (R, error)) ([]R, error) {
 	if ctx == nil {
@@ -42,7 +84,8 @@ func Map[T, R any](ctx context.Context, width int, items []T,
 		w = n
 	}
 	if w == 1 {
-		// Serial fast path: no goroutines, exact serial error order.
+		// Serial fast path: no goroutines, exact serial error order;
+		// panics unwind to the caller directly with their own stack.
 		for i := range items {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -64,11 +107,20 @@ func Map[T, R any](ctx context.Context, width int, items []T,
 		mu       sync.Mutex
 		firstErr error
 		errIdx   = -1
+		firstPan *WorkerPanic
 	)
 	fail := func(i int, err error) {
 		mu.Lock()
 		if errIdx < 0 || i < errIdx {
 			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	recordPanic := func(p *WorkerPanic) {
+		mu.Lock()
+		if firstPan == nil || p.Index < firstPan.Index {
+			firstPan = p
 		}
 		mu.Unlock()
 		cancel()
@@ -82,7 +134,11 @@ func Map[T, R any](ctx context.Context, width int, items []T,
 				if i >= n || wctx.Err() != nil {
 					return
 				}
-				r, err := f(wctx, items[i])
+				r, err, pv, stack, panicked := guard(wctx, items[i], f)
+				if panicked {
+					recordPanic(&WorkerPanic{Index: i, Value: pv, Stack: stack})
+					return
+				}
 				if err != nil {
 					fail(i, err)
 					return
@@ -92,6 +148,9 @@ func Map[T, R any](ctx context.Context, width int, items []T,
 		}()
 	}
 	wg.Wait()
+	if firstPan != nil {
+		panic(firstPan)
+	}
 	if errIdx >= 0 {
 		return nil, firstErr
 	}

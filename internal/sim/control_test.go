@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// reschedule keeps a self-perpetuating event stream alive so the run
+// loops only stop when something external (hook, halt) stops them.
+func reschedule(e *Engine) {
+	e.Schedule(e.Now()+1, reschedule)
+}
+
+func TestControlHookStopsRun(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, reschedule)
+	stop := errors.New("budget exceeded")
+	var calls int
+	e.SetControl(10, func(eng *Engine) error {
+		calls++
+		if eng.Fired() >= 50 {
+			return stop
+		}
+		return nil
+	})
+	e.Run()
+	if !errors.Is(e.StopCause(), stop) {
+		t.Fatalf("StopCause = %v, want the hook's error", e.StopCause())
+	}
+	if e.Fired() != 50 {
+		t.Fatalf("stopped after %d events, want exactly 50 (hook interval 10)", e.Fired())
+	}
+	if calls != 5 {
+		t.Fatalf("hook ran %d times over 50 events at interval 10, want 5", calls)
+	}
+	// The stream is still pending; a fresh Run clears the old cause and
+	// keeps consulting the hook from where the count left off.
+	fired := e.Fired()
+	e.SetControl(10, func(eng *Engine) error {
+		if eng.Fired() >= fired+20 {
+			return stop
+		}
+		return nil
+	})
+	e.Run()
+	if e.StopCause() == nil || e.Fired() != fired+20 {
+		t.Fatalf("second run: fired %d cause %v", e.Fired(), e.StopCause())
+	}
+}
+
+func TestControlHookDisarm(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 100; i++ {
+		e.Schedule(i, func(*Engine) {})
+	}
+	var calls int
+	e.SetControl(7, func(*Engine) error { calls++; return nil })
+	e.SetControl(0, nil)
+	e.Run()
+	if calls != 0 {
+		t.Fatalf("disarmed hook ran %d times", calls)
+	}
+	if e.StopCause() != nil {
+		t.Fatalf("StopCause = %v after a clean drain", e.StopCause())
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("fired %d, want 100", e.Fired())
+	}
+}
+
+func TestControlHookHaltKeepsNilCause(t *testing.T) {
+	// A hook that calls Halt directly (rather than returning an error)
+	// stops the run without a cause — same contract as a model halt.
+	e := NewEngine()
+	e.Schedule(1, reschedule)
+	e.SetControl(5, func(eng *Engine) error {
+		if eng.Fired() >= 25 {
+			eng.Halt()
+		}
+		return nil
+	})
+	e.Run()
+	if e.StopCause() != nil {
+		t.Fatalf("StopCause = %v, want nil for a Halt stop", e.StopCause())
+	}
+	if e.Fired() != 25 {
+		t.Fatalf("fired %d, want 25", e.Fired())
+	}
+}
+
+func TestControlRunUntil(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, reschedule)
+	stop := errors.New("deadline")
+	e.SetControl(10, func(eng *Engine) error {
+		if eng.Fired() >= 30 {
+			return stop
+		}
+		return nil
+	})
+	n := e.RunUntil(1000)
+	if n != 30 || !errors.Is(e.StopCause(), stop) {
+		t.Fatalf("RunUntil fired %d (cause %v), want 30 with the hook error", n, e.StopCause())
+	}
+	// A hook stop must not advance the clock to the deadline: the run
+	// was interrupted, and Now is part of the interruption diagnostic.
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d after hook stop, want the last event time 30", e.Now())
+	}
+	// Without the hook tripping, RunUntil still advances to the deadline.
+	e.SetControl(0, nil)
+	e.RunUntil(2000)
+	if e.Now() != 2000 || e.StopCause() != nil {
+		t.Fatalf("clean RunUntil: now %d cause %v", e.Now(), e.StopCause())
+	}
+}
+
+// TestControlZeroAllocGuard extends the engine's zero-alloc contract to
+// the watchdog: an armed control hook must add 0 allocs/op to the
+// schedule/fire path (the hook itself is the caller's business, but
+// the dispatch around it is the engine's).
+func TestControlZeroAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < 4*eventBlock; i++ {
+		e.Schedule(e.Now()+1, fn)
+	}
+	e.Run()
+	e.SetControl(64, func(*Engine) error { return nil })
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Schedule(e.Now()+1, fn)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("run with armed control hook allocates %.2f allocs/op, want 0", avg)
+	}
+}

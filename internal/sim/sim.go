@@ -219,13 +219,25 @@ type Engine struct {
 	seq     uint64
 	fired   uint64
 	halted  bool
+	// Control hook (SetControl): ctrlNext is the fired count at which
+	// the hook runs next, kept at noControl when the hook is disarmed so
+	// the run loops pay exactly one always-false integer compare per
+	// event — no nil check, no extra branch.
+	ctrlNext  uint64
+	ctrlEvery uint64
+	ctrlFn    func(*Engine) error
+	stopCause error
 }
+
+// noControl parks ctrlNext beyond any reachable fired count.
+const noControl = ^uint64(0)
 
 // NewEngine returns an engine with time set to zero and an empty queue.
 func NewEngine() *Engine {
 	return &Engine{
-		queue:   make(eventHeap, 0, initialHeapCap),
-		records: make([]event, 0, eventBlock),
+		queue:    make(eventHeap, 0, initialHeapCap),
+		records:  make([]event, 0, eventBlock),
+		ctrlNext: noControl,
 	}
 }
 
@@ -350,6 +362,39 @@ func (e *Engine) Cancel(ev Event) {
 // Halt stops Run/RunUntil after the in-flight event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// SetControl arms a control hook that Run/RunUntil invoke every
+// `every` fired events. A non-nil return stops the run (like Halt) and
+// becomes StopCause. The hook is where callers enforce wall-clock
+// deadlines, event budgets, context cancellation, and livelock
+// detection without touching the per-event hot path: when disarmed
+// (nil fn or zero interval) the run loops pay a single always-false
+// integer compare per event, and when armed the hook itself runs only
+// once per interval.
+func (e *Engine) SetControl(every uint64, fn func(*Engine) error) {
+	if fn == nil || every == 0 {
+		e.ctrlFn, e.ctrlEvery, e.ctrlNext = nil, 0, noControl
+		return
+	}
+	e.ctrlFn, e.ctrlEvery = fn, every
+	e.ctrlNext = e.fired + every
+}
+
+// StopCause returns the error that stopped the most recent Run or
+// RunUntil via the control hook, or nil if the run ended normally
+// (queue drained, deadline reached, or plain Halt).
+func (e *Engine) StopCause() error { return e.stopCause }
+
+// runControl fires the armed control hook and schedules its next
+// invocation. Kept out of the run loops so their bodies stay small
+// enough to inline the common path around.
+func (e *Engine) runControl() {
+	e.ctrlNext = e.fired + e.ctrlEvery
+	if err := e.ctrlFn(e); err != nil {
+		e.stopCause = err
+		e.halted = true
+	}
+}
+
 // Step executes the single earliest pending event. It reports false if
 // the queue was empty.
 func (e *Engine) Step() bool {
@@ -373,26 +418,38 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Halt is called.
+// Run executes events until the queue drains, Halt is called, or the
+// control hook (SetControl) stops the run — in which case StopCause
+// reports why.
 func (e *Engine) Run() {
 	e.halted = false
+	e.stopCause = nil
 	for !e.halted && e.Step() {
+		if e.fired >= e.ctrlNext {
+			e.runControl()
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances
 // the clock to the deadline (if it is later than the last event). It
-// returns the number of events fired during this call.
+// returns the number of events fired during this call. The control
+// hook applies here too; a hook stop leaves the clock at the last
+// fired event rather than advancing it to the deadline.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.halted = false
+	e.stopCause = nil
 	start := e.fired
 	for !e.halted {
 		if len(e.queue) == 0 || e.queue[0].when > deadline {
 			break
 		}
 		e.Step()
+		if e.fired >= e.ctrlNext {
+			e.runControl()
+		}
 	}
-	if e.now < deadline {
+	if e.stopCause == nil && e.now < deadline {
 		e.now = deadline
 	}
 	return e.fired - start

@@ -51,6 +51,11 @@ type Spec struct {
 	// command. Observation is read-only — results are bit-identical with
 	// or without it.
 	Obs *obs.Observer
+	// Limits, when non-nil and armed, bounds the run (wall-clock
+	// deadline, event budget, context cancellation, livelock watchdog);
+	// a tripped limit returns a *LimitError. Nil runs unbounded with an
+	// untouched hot path.
+	Limits *Limits
 }
 
 // Result carries every metric the experiments report.
@@ -101,6 +106,10 @@ type machine struct {
 	warmCount int
 	warmTime  sim.Time
 	warmSnap  *rawCounters
+
+	// wdChecks counts watchdog hook invocations (exported through obs
+	// as sys.watchdog_checks when limits are armed).
+	wdChecks uint64
 }
 
 // memTxn is a pooled memory-transaction record: one L2 miss (DRAM fill
@@ -274,13 +283,20 @@ func Run(spec Spec) (Result, error) {
 			spec.Obs.Sampler.Start(m.eng)
 		}
 	}
+	if spec.Limits.armed() {
+		m.armWatchdog(spec.Limits)
+	}
 	for _, c := range m.cores {
 		c.Start()
 	}
 	m.eng.Run()
+	if err := m.eng.StopCause(); err != nil {
+		return Result{}, err
+	}
 	if m.finished != len(m.cores) {
-		return Result{}, fmt.Errorf("system: stalled with %d/%d cores finished (events drained)",
-			m.finished, len(m.cores))
+		return Result{}, &LimitError{Kind: LimitStall,
+			Msg:  fmt.Sprintf("stalled with %d/%d cores finished (events drained)", m.finished, len(m.cores)),
+			Diag: m.diag()}
 	}
 	return m.collect(), nil
 }
