@@ -6,8 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json alloc-guard \
-	check-protocol fuzz-smoke resilience-smoke update-golden fmt all-quick
+.PHONY: check build vet test race bench bench-smoke bench-json bench-compare \
+	alloc-guard check-protocol fuzz-smoke resilience-smoke update-golden fmt \
+	all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
 
@@ -73,6 +74,13 @@ bench:
 # BENCHTIME=1x as a smoke; use the default for a real baseline.
 bench-json:
 	$(GO) run ./cmd/benchjson $(if $(BENCHTIME),-benchtime $(BENCHTIME),)
+
+# Compare two recorded benchmark snapshots (per-benchmark ns/op delta
+# and speedup): make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || \
+		{ echo "usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json"; exit 2; }
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
 
 fmt:
 	gofmt -l -w .

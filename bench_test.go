@@ -215,6 +215,38 @@ func BenchmarkHeadlineRun(b *testing.B) {
 	}
 }
 
+// BenchmarkHeadlineRunIntra8 is BenchmarkHeadlineRun on the windowed
+// parallel engine at 8 intra-run workers (results are bit-identical;
+// TestIntraMatchesSequential and the golden width tests prove it). The
+// speedup over BenchmarkHeadlineRun is the intra-parallelism headline
+// number; `make bench-compare` prints it from two BENCH_<rev>.json
+// snapshots. On hosts with fewer cores the shared worker budget grants
+// fewer threads and the run degrades toward sequential speed.
+func BenchmarkHeadlineRunIntra8(b *testing.B) {
+	var simPS sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+		sys.Cores = 16
+		profs := make([]workload.Profile, sys.Cores)
+		for c := range profs {
+			profs[c] = workload.MustGet([]string{"429.mcf", "470.lbm", "433.milc", "462.libquantum"}[c%4])
+		}
+		spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
+			WarmupInstr: 4000, Seed: 42, IntraParallelism: 8}
+		res, err := system.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simPS += res.RuntimePS
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(simPS)*1e-12/wall, "sim_s/wall_s")
+	}
+}
+
 // BenchmarkHeadlineRunLimits is BenchmarkHeadlineRun with the full
 // watchdog armed (context, generous deadline, event budget, livelock
 // detector): comparing the two proves the armed watchdog costs no

@@ -4,6 +4,11 @@
 // custom metrics such as sim_s/wall_s — to BENCH_<rev>.json, so the
 // repository accumulates a machine-readable performance history that
 // future changes can be compared against (`make bench-json`).
+//
+// With -diff, it instead compares two recorded snapshots and prints a
+// per-benchmark ns/op delta and speedup table (`make bench-compare`):
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -53,7 +58,16 @@ func main() {
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = go default; CI uses 1x)")
 	rev := flag.String("rev", "", "revision label for the output file (default: git short HEAD)")
 	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
+	diff := flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1)))
+	}
 
 	r, dirty := *rev, false
 	if r == "" {
@@ -105,6 +119,68 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+}
+
+// runDiff loads two BENCH_<rev>.json snapshots and prints one table row
+// per benchmark present in the new file: ns/op of both sides, the
+// relative delta, and the old/new speedup factor (>1 means the new
+// revision is faster). Benchmarks present on only one side are listed
+// so a renamed or added benchmark never disappears silently.
+func runDiff(oldPath, newPath string) int {
+	oldF, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newF, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	oldBy := make(map[string]Result, len(oldF.Benchmarks))
+	for _, r := range oldF.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("benchjson diff: %s -> %s\n", oldF.Rev, newF.Rev)
+	fmt.Printf("%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
+	seen := make(map[string]bool, len(newF.Benchmarks))
+	for _, nr := range newF.Benchmarks {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.0f %9s %9s\n", nr.Name, "-", nr.NsPerOp, "-", "-")
+			continue
+		}
+		delta := "-"
+		speedup := "-"
+		if or.NsPerOp > 0 && nr.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-or.NsPerOp)/or.NsPerOp)
+			speedup = fmt.Sprintf("%.2fx", or.NsPerOp/nr.NsPerOp)
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %9s %9s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, speedup)
+	}
+	for _, or := range oldF.Benchmarks {
+		if !seen[or.Name] {
+			fmt.Printf("%-36s %14.0f %14s %9s %9s\n", or.Name, or.NsPerOp, "-", "-", "-")
+		}
+	}
+	return 0
+}
+
+// loadSnapshot reads and validates one BENCH_<rev>.json file.
+func loadSnapshot(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &f, nil
 }
 
 // gitRev returns the short HEAD hash and whether the worktree is dirty;

@@ -39,6 +39,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced workload sets and budgets")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		jobs   = flag.Int("j", 0, "parallel simulations per sweep (0 = all cores); output is identical at any -j")
+		jIntra = flag.Int("j-intra", 0, "worker threads inside each eligible simulation (windowed parallel engine); output is identical at any width")
 		beta   = flag.Float64("beta", 1.0, "activates per column access for fig1/fig6b")
 		wl     = flag.String("workload", "429.mcf", "workload for -exp run")
 		nw     = flag.Int("nw", 1, "wordline partitions for -exp run")
@@ -67,7 +68,7 @@ func main() {
 	flag.Parse()
 
 	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed,
-		Parallelism: *jobs}
+		Parallelism: *jobs, IntraParallelism: *jIntra}
 	if *progress {
 		o.Progress = heartbeat()
 	}
@@ -398,6 +399,7 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
 	spec.Limits = o.Res.RunLimits()
+	spec.IntraParallelism = o.IntraParallelism
 
 	var (
 		observer *obs.Observer

@@ -108,6 +108,34 @@ func TestGoldenObservedMatchesUnobserved(t *testing.T) {
 	}
 }
 
+// TestGoldenIntraParallelWidths asserts the windowed parallel engine
+// reproduces every shipped configuration's committed fixture bytes at
+// several intra-run widths — the bit-exactness acceptance gate. The
+// runs are unobserved (a tracer forces the sequential fallback);
+// TestGoldenObservedMatchesUnobserved legitimizes comparing them
+// against the observed-run fixtures.
+func TestGoldenIntraParallelWidths(t *testing.T) {
+	widths := []int{1, 2, 4, runtime.NumCPU()}
+	for _, sc := range experiments.ShippedConfigs() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			for _, w := range widths {
+				sys := config.SingleCore(sc.Mem())
+				spec := system.UniformSpec(sys, workload.MustGet("429.mcf"), goldenInstr, 42)
+				spec.WarmupInstr = goldenInstr / 2
+				spec.IntraParallelism = w
+				res, err := system.Run(spec)
+				if err != nil {
+					t.Fatalf("%s width %d: %v", sc.Name(), w, err)
+				}
+				got := reportBytes(t, "golden run: "+sc.Name(), res)
+				golden.Check(t, "testdata/run_"+sc.Name()+".json", got)
+			}
+		})
+	}
+}
+
 // headlineReport runs the headline experiment at the given parallelism
 // and renders its report with the parallelism echo normalized, so the
 // bytes are comparable across -j widths.

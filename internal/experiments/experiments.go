@@ -42,6 +42,12 @@ type Options struct {
 	// results are reduced in job order, so output is byte-identical
 	// at every width.
 	Parallelism int
+	// IntraParallelism requests the windowed parallel engine inside
+	// each eligible simulation (the -j-intra flag): results are
+	// bit-identical to sequential runs at any width. Extra workers are
+	// borrowed from a process-wide budget shared with the sweep pool,
+	// so -j and -j-intra compose without oversubscribing the host.
+	IntraParallelism int
 	// Progress, when non-nil, is invoked after each completed
 	// simulation of a sweep with the number done so far and the sweep
 	// total (the -progress heartbeat). It is called from worker
@@ -95,6 +101,7 @@ func runSingle(name string, iface config.Interface, nW, nB int,
 	spec := system.UniformSpec(sys, workload.MustGet(name), o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
 	spec.Limits = lim
+	spec.IntraParallelism = o.IntraParallelism
 	return system.Run(spec)
 }
 
@@ -118,7 +125,8 @@ func runMulti(profileFor func(core int) workload.Profile, iface config.Interface
 		instr = 4000
 	}
 	spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
-		WarmupInstr: instr / 2, Seed: o.Seed, Limits: lim}
+		WarmupInstr: instr / 2, Seed: o.Seed, Limits: lim,
+		IntraParallelism: o.IntraParallelism}
 	return system.Run(spec)
 }
 

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +42,36 @@ func headlineReport(t *testing.T, o Options) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// TestIntraParallelSweepResilience drives the windowed parallel engine
+// through the fault-injection sweep: sweep-level workers and intra-run
+// workers share the host worker budget while an injected limit trips.
+// The degraded report — healthy gains plus the failure record with its
+// diagnostic snapshot — must be byte-identical across intra widths
+// (barriers are the watchdog granularity and the window sequence is
+// width-independent, so the trip point is too). Under -race this is
+// the windowed engine's CI concurrency exercise.
+func TestIntraParallelSweepResilience(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	mk := func(intra int) []byte {
+		res := &Resilience{Mode: parallel.FailDegrade}
+		if err := res.SetInject("timeout:3"); err != nil {
+			t.Fatal(err)
+		}
+		o := resOpts(res)
+		o.IntraParallelism = intra
+		return headlineReport(t, o)
+	}
+	want := mk(2)
+	for _, w := range []int{4, runtime.NumCPU() + 1} {
+		if got := mk(w); !bytes.Equal(got, want) {
+			t.Fatalf("intra width %d report drifted from width 2:\n%s", w, golden.Diff(want, got))
+		}
+	}
 }
 
 // TestDegradedSweepAcceptance is the issue's acceptance scenario: a

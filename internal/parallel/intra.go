@@ -1,0 +1,49 @@
+package parallel
+
+// Shared intra-run worker budget. A simulation run on the windowed
+// parallel engine (system.Spec.IntraParallelism) borrows extra worker
+// tokens from a process-wide pool sized to the machine, so a sweep
+// whose Map workers each request intra-run parallelism cannot
+// oversubscribe the host: tokens granted to one run are unavailable to
+// its siblings until released. Acquisition is non-blocking and partial
+// — a run proceeds with whatever it gets (possibly zero extra workers)
+// because its results are width-independent by construction.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// intraOut counts extra-worker tokens currently on loan; availability
+// is GOMAXPROCS-1 minus the loans, evaluated at acquire time so the
+// pool tracks runtime.GOMAXPROCS changes.
+var intraOut atomic.Int64
+
+// AcquireIntra takes up to n extra-worker tokens from the shared pool
+// and returns how many it got, in [0, n]. Never blocks.
+func AcquireIntra(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for {
+		out := intraOut.Load()
+		avail := int64(runtime.GOMAXPROCS(0)) - 1 - out
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > avail {
+			take = avail
+		}
+		if intraOut.CompareAndSwap(out, out+take) {
+			return int(take)
+		}
+	}
+}
+
+// ReleaseIntra returns tokens obtained from AcquireIntra to the pool.
+func ReleaseIntra(n int) {
+	if n > 0 {
+		intraOut.Add(-int64(n))
+	}
+}

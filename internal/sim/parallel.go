@@ -1,0 +1,597 @@
+package sim
+
+// Windowed conservative parallel discrete-event execution.
+//
+// A Windowed run partitions the model into domains, each owning a
+// private Engine (slab + 4-ary heap) and a disjoint slice of mutable
+// state. Domains advance concurrently through synchronization windows
+// of fixed width W, the minimum cross-domain latency: every
+// cross-domain interaction is deferred during a window and applied
+// serially at the barrier, and because any such interaction scheduled
+// at time t takes effect no earlier than t+W, deferral never reorders
+// an interaction past an event that could observe it.
+//
+// Bit-exactness. The sequential engine breaks same-instant ties by
+// (priority, seq), seq being the global order of Schedule calls. A
+// parallel run reproduces that order exactly without sharing a
+// counter:
+//
+//   - Every fired event receives a global rank R at the window
+//     barrier: the barrier merges the domains' execution logs in
+//     (when, key) order and numbers events monotonically. R equals the
+//     event's position in the sequential execution order, because
+//     events of one window never observe each other across domains.
+//   - An event scheduled by parent P as its i-th schedule call gets
+//     the committed key (prio, R(P), i). Since sequential seq order of
+//     two events is exactly (execution order of their parents, call
+//     index within parent), comparing committed keys reproduces the
+//     sequential tiebreak.
+//   - R(P) is unknown while P is still executing, so children are
+//     first keyed "fresh": (prio, class=1, P's domain-local fire
+//     index, i). Fresh keys compare correctly inside their own domain
+//     (local fire order is the restriction of the global order), and
+//     the class bit makes every fresh key sort after every committed
+//     key at the same (when, prio) — correct, because committed events
+//     at that instant were scheduled in earlier windows, hence before
+//     any of this window's calls. A fresh-keyed event with a fire time
+//     inside the current window fires before the barrier, so any fresh
+//     key that survives to the barrier belongs to an event past the
+//     deadline; those events wait in a per-domain side buffer instead
+//     of the heap, and the barrier rewrites exactly that set to
+//     committed form and inserts it — no queue walk, no key ever
+//     rewritten in place. Cross-domain injections (which carry
+//     committed keys) only happen at barriers, after the rewrite, so a
+//     fresh key is never compared against a key from another domain.
+//
+// Events scheduled before the run starts (machine construction) get
+// committed keys with the reserved rank 0 and a shared program-order
+// call counter, matching the sequential engine's build-time seq order.
+//
+// The barrier itself (rank merge, rekey, user hook) is serial; worker
+// threads synchronize through two atomic counters with spin-yield
+// waits, because a window is typically a few microseconds of work and
+// a blocking barrier would dominate it.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel-mode key layout (64 bits):
+//
+//	prio(2) | class(1) | rank-or-fireIdx(41) | callIdx(20)
+//
+// class 0 = committed (rank), class 1 = fresh (domain-local fire
+// index). Committed keys are globally unique: rank is unique per
+// parent and callIdx per call, so nodeLess stays a strict total order.
+const (
+	parCallBits   = 20
+	parRankBits   = 41
+	parClassShift = parCallBits + parRankBits // bit 61
+	parPrioShift  = parClassShift + 1         // bits 62..63
+	parFresh      = uint64(1) << parClassShift
+	parMaxCall    = uint64(1) << parCallBits
+	parMaxRank    = uint64(1) << parRankBits
+	parRankMask   = (parMaxRank - 1) << parCallBits
+)
+
+// winEntry is one fired event in a domain's window log.
+type winEntry struct {
+	when Time
+	key  uint64
+}
+
+// segRank is one run of the rank assignment: log entries start, start+1,
+// ... (up to the next segment's start) carry ranks base, base+1, ...
+// Storing runs instead of a dense per-event rank array keeps the serial
+// merge's write traffic proportional to the number of same-instant runs;
+// only a handful of ranks are ever queried per window (side-buffer
+// commits, deferred sends, warm-up events), via binary search.
+type segRank struct {
+	start uint64 // window-local log index the run begins at
+	base  uint64 // global rank of that entry
+}
+
+// parCtx is the per-domain parallel context attached to an Engine.
+type parCtx struct {
+	dom      int
+	log      []winEntry // events fired this window, in fire order
+	seg      []segRank  // rank runs over log (built at barrier)
+	fireBase uint64     // absolute fire index of log[0]
+	fireIdx  uint64     // absolute index of the currently firing event
+	callIdx  uint32     // schedule calls made by the current event
+	running  bool       // inside runWindow (vs build time)
+	buildSeq *uint64    // shared pre-run program-order counter
+	deadline Time       // current window deadline (side-buffer routing)
+	side     []int32    // fresh-keyed events scheduled past the deadline
+	sideMin  Time       // earliest side-buffered fire time, Never when empty
+	// onFire, when non-nil, runs before each event dispatch (the
+	// warm-up journaling hook). The nil check is the only per-event
+	// cost when unused.
+	onFire func()
+}
+
+// packKey returns the parallel-mode same-instant key for the current
+// schedule call, consuming one call slot of the firing event (or of
+// the shared build counter before the run starts).
+func (p *parCtx) packKey(priority int) uint64 {
+	if priority < 0 || priority >= 4 {
+		panic(fmt.Sprintf("sim: parallel mode supports priorities [0,4), got %d", priority))
+	}
+	if p.running {
+		ci := uint64(p.callIdx)
+		p.callIdx++
+		if ci >= parMaxCall {
+			panic("sim: parallel call index space exhausted")
+		}
+		return uint64(priority)<<parPrioShift | parFresh | p.fireIdx<<parCallBits | ci
+	}
+	ci := *p.buildSeq
+	*p.buildSeq++
+	if ci >= parMaxCall {
+		panic("sim: parallel build sequence space exhausted")
+	}
+	return uint64(priority)<<parPrioShift | ci // committed, rank 0
+}
+
+// ParCall consumes one schedule-call slot of the currently firing
+// event without scheduling anything, returning the event's
+// domain-local fire index and the consumed call index. Deferred
+// cross-domain operations use this so their eventual injection carries
+// the key the sequential engine would have assigned at this call site.
+func (e *Engine) ParCall() (fireIdx uint64, callIdx uint32) {
+	p := e.par
+	if p == nil || !p.running {
+		panic("sim: ParCall outside a parallel window")
+	}
+	ci := p.callIdx
+	p.callIdx++
+	if uint64(ci) >= parMaxCall {
+		panic("sim: parallel call index space exhausted")
+	}
+	return p.fireIdx, ci
+}
+
+// ParMark returns the currently firing event's domain-local fire index
+// and the number of schedule calls it has made so far, without
+// consuming anything. Mid-event cut points (warm-up snapshots) are
+// located with it.
+func (e *Engine) ParMark() (fireIdx uint64, calls uint32) {
+	p := e.par
+	if p == nil || !p.running {
+		panic("sim: ParMark outside a parallel window")
+	}
+	return p.fireIdx, p.callIdx
+}
+
+// scheduleKeyed enqueues a callback with an explicit pre-committed
+// same-instant key (barrier injection path; packKey is bypassed).
+func (e *Engine) scheduleKeyed(at Time, key uint64, fn func(*Engine, any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: keyed schedule at %d before now %d", at, e.now))
+	}
+	id := e.alloc()
+	rec := &e.records[id]
+	rec.when, rec.key, rec.argFn, rec.arg = at, key, fn, arg
+	e.queue.push(rec, id)
+}
+
+// runWindow fires every pending event with when <= deadline, logging
+// each fire, then advances the clock to the deadline. The control hook
+// is not consulted; parallel runs enforce limits at barriers.
+func (e *Engine) runWindow(deadline Time) {
+	p := e.par
+	p.running = true
+	p.deadline = deadline
+	for len(e.queue) > 0 && e.queue[0].when <= deadline {
+		id := e.queue.pop()
+		rec := &e.records[id]
+		if rec.when < e.now {
+			panic("sim: event heap corrupted (time went backwards)")
+		}
+		e.now = rec.when
+		p.fireIdx = p.fireBase + uint64(len(p.log))
+		p.log = append(p.log, winEntry{rec.when, rec.key})
+		p.callIdx = 0
+		if p.onFire != nil {
+			p.onFire()
+		}
+		fn, argFn, arg := rec.fn, rec.argFn, rec.arg
+		e.recycle(id)
+		e.fired++
+		if argFn != nil {
+			argFn(e, arg)
+		} else {
+			fn(e)
+		}
+	}
+	p.running = false
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Windowed coordinates a conservative parallel run over a set of
+// domain engines.
+type Windowed struct {
+	engs    []*Engine
+	window  Time
+	workers int
+
+	buildSeq uint64
+	nextRank uint64
+
+	// Round synchronization: main publishes deadline and the due list
+	// then bumps round; workers claim due domains through claim and
+	// report through done. All cross-thread engine access is ordered by
+	// these atomics.
+	deadline Time
+	due      []int32 // domains with an event due this window
+	round    atomic.Uint32
+	claim    atomic.Int32
+	done     atomic.Int32
+	stop     atomic.Bool
+	wg       sync.WaitGroup
+	spawned  int
+
+	act  []mergeHead // rank-merge scratch: heads of domains with log entries left
+	scan []mergeHead // start-scan scratch: earliest pending instant per domain
+
+	// Counters for observability.
+	Windows       uint64 // synchronization windows executed
+	MultiInstants uint64 // instants with fires in more than one domain
+}
+
+// NewWindowed attaches parallel contexts to the given engines and
+// returns a coordinator advancing them in windows of the given width.
+// The width must not exceed the minimum latency of any cross-domain
+// interaction. workers is the number of OS threads advancing domains
+// concurrently; results are independent of it.
+func NewWindowed(window Time, engs []*Engine, workers int) *Windowed {
+	if window == 0 {
+		panic("sim: zero window width")
+	}
+	if len(engs) == 0 {
+		panic("sim: windowed run with no domains")
+	}
+	w := &Windowed{
+		engs:     engs,
+		window:   window,
+		workers:  workers,
+		nextRank: 1, // rank 0 is reserved for build-time events
+		act:      make([]mergeHead, 0, len(engs)),
+		scan:     make([]mergeHead, 0, len(engs)),
+		due:      make([]int32, 0, len(engs)),
+	}
+	for i, e := range engs {
+		if e.par != nil {
+			panic("sim: engine already part of a windowed run")
+		}
+		e.par = &parCtx{dom: i, buildSeq: &w.buildSeq, sideMin: Never}
+	}
+	return w
+}
+
+// Window returns the synchronization window width in picoseconds.
+func (w *Windowed) Window() Time { return w.window }
+
+// Workers returns the number of threads advancing domains.
+func (w *Windowed) Workers() int { return w.workers }
+
+// rankOf resolves a window-local log index to its global rank through
+// the segment table: the covering run is the last one starting at or
+// before the index.
+func (p *parCtx) rankOf(i uint64) uint64 {
+	s := p.seg
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].start <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	sg := &s[lo-1]
+	return sg.base + (i - sg.start)
+}
+
+// Rank returns the global rank of a domain's fired event, valid at the
+// barrier for events of the just-finished window.
+func (w *Windowed) Rank(dom int, fireIdx uint64) uint64 {
+	p := w.engs[dom].par
+	return p.rankOf(fireIdx - p.fireBase)
+}
+
+// Inject schedules a callback into a domain with the committed key
+// (prio, rank, call) — the key the sequential engine assigned at the
+// deferred call site. Only valid at a barrier, for instants at or
+// after the next window start.
+func (w *Windowed) Inject(dom int, at Time, prio int, rank uint64, call uint32, fn func(*Engine, any), arg any) {
+	key := uint64(prio)<<parPrioShift | rank<<parCallBits | uint64(call)
+	w.engs[dom].scheduleKeyed(at, key, fn, arg)
+}
+
+// SetFireHook installs (or clears, with nil) a per-event hook on one
+// domain, run before each dispatch with the engine's ParMark valid.
+func (w *Windowed) SetFireHook(dom int, fn func()) {
+	w.engs[dom].par.onFire = fn
+}
+
+// DomainFired returns the per-domain fired-event counts (imbalance
+// observability).
+func (w *Windowed) DomainFired() []uint64 {
+	out := make([]uint64, len(w.engs))
+	for i, e := range w.engs {
+		out[i] = e.fired
+	}
+	return out
+}
+
+// worker is the persistent loop of one extra thread.
+func (w *Windowed) worker() {
+	defer w.wg.Done()
+	last := uint32(0)
+	for {
+		for {
+			r := w.round.Load()
+			if r != last {
+				last = r
+				break
+			}
+			runtime.Gosched()
+		}
+		if w.stop.Load() {
+			return
+		}
+		w.runClaimed()
+		w.done.Add(1)
+	}
+}
+
+// runClaimed processes dynamically claimed due domains through the
+// current window round. Claiming is atomic, so the assignment of
+// domains to threads varies between runs — results do not, because
+// domains are independent within a window. Domains with no event due
+// this window are not on the due list and are never touched.
+func (w *Windowed) runClaimed() {
+	d := w.deadline
+	n := int32(len(w.due))
+	for {
+		i := w.claim.Add(1) - 1
+		if i >= n {
+			return
+		}
+		w.engs[w.due[i]].windowRound(d)
+	}
+}
+
+// windowRound is one domain's work for one window: commit the previous
+// window's surviving fresh keys (their ranks are still valid — the
+// merge that would invalidate them runs after this round), retire the
+// previous window's log, then advance through the window. Deferring
+// the commit and the log retirement here moves both off the serial
+// barrier and onto the claiming workers.
+func (e *Engine) windowRound(deadline Time) {
+	p := e.par
+	if len(p.side) > 0 {
+		e.rekeyDomain()
+	}
+	p.fireBase += uint64(len(p.log))
+	p.log = p.log[:0]
+	e.runWindow(deadline)
+}
+
+// Run advances all domains to completion. hook runs serially at every
+// window barrier after ranks are assigned and pending keys committed;
+// it applies the model's deferred cross-domain work (and may Inject
+// new events). A non-nil hook error stops the run and is returned.
+// The run ends when every domain's queue is empty.
+func (w *Windowed) Run(hook func() error) error {
+	extra := w.workers - 1
+	if extra > len(w.engs)-1 {
+		extra = len(w.engs) - 1
+	}
+	for i := 0; i < extra; i++ {
+		w.wg.Add(1)
+		go w.worker()
+	}
+	w.spawned = extra
+	defer func() {
+		w.stop.Store(true)
+		w.round.Add(1)
+		w.wg.Wait()
+	}()
+	for {
+		// A domain's earliest pending event is its heap head or, right
+		// after its window, a side-buffered child awaiting commit. One
+		// pass collects per-domain heads and the global minimum; the due
+		// filter then runs over the compact scratch instead of touching
+		// every engine again.
+		start := Never
+		scan := w.scan[:0]
+		for i, e := range w.engs {
+			t := e.par.sideMin
+			if len(e.queue) > 0 && e.queue[0].when < t {
+				t = e.queue[0].when
+			}
+			if t == Never {
+				continue
+			}
+			scan = append(scan, mergeHead{when: t, dom: int32(i)})
+			if t < start {
+				start = t
+			}
+		}
+		w.scan = scan
+		if start == Never {
+			return nil
+		}
+		w.deadline = start + w.window - 1
+		w.due = w.due[:0]
+		for j := range scan {
+			if scan[j].when <= w.deadline {
+				w.due = append(w.due, scan[j].dom)
+			}
+		}
+		w.claim.Store(0)
+		w.done.Store(0)
+		w.round.Add(1)
+		w.runClaimed()
+		for w.done.Load() < int32(extra) {
+			runtime.Gosched()
+		}
+		w.Windows++
+		w.assignRanks()
+		if hook != nil {
+			if err := hook(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// mergeHead is one active cursor of the rank merge: the next unranked
+// log entry of a domain, with its fire instant cached so the min-scan
+// never touches the log slices. key caches the entry's resolved key
+// during a multi-domain instant; advancing one domain leaves the other
+// cursors' keys valid (a fresh key resolves through its own domain's
+// already-assigned ranks only), so each event costs one key
+// resolution, not one per active cursor.
+type mergeHead struct {
+	when Time
+	key  uint64
+	dom  int32
+	idx  int32
+}
+
+// assignRanks merges the window's execution logs in global event order
+// and numbers them monotonically. The merge keeps a compact list of
+// active cursors — only domains with unranked entries left — so the
+// per-instant min-scan costs the number of still-active domains, not
+// the domain count. Instants fired by a single domain — the
+// overwhelmingly common case — are bulk-assigned; instants shared by
+// several domains are fine-merged by resolved key, which reproduces
+// the sequential same-instant order (see the package comment's
+// argument).
+func (w *Windowed) assignRanks() {
+	R := w.nextRank
+	act := w.act[:0]
+	for _, di := range w.due {
+		p := w.engs[di].par
+		p.seg = p.seg[:0]
+		if len(p.log) > 0 {
+			act = append(act, mergeHead{when: p.log[0].when, dom: di})
+		}
+	}
+	for len(act) > 0 {
+		mi, multi := 0, false
+		for j := 1; j < len(act); j++ {
+			if act[j].when < act[mi].when {
+				mi, multi = j, false
+			} else if act[j].when == act[mi].when {
+				multi = true
+			}
+		}
+		minW := act[mi].when
+		if !multi {
+			p := w.engs[act[mi].dom].par
+			log := p.log
+			h := int(act[mi].idx)
+			p.seg = append(p.seg, segRank{start: uint64(h), base: R})
+			for h < len(log) && log[h].when == minW {
+				h++
+			}
+			R += uint64(h) - uint64(act[mi].idx)
+			if h == len(log) {
+				act[mi] = act[len(act)-1]
+				act = act[:len(act)-1]
+			} else {
+				act[mi].idx, act[mi].when = int32(h), log[h].when
+			}
+			continue
+		}
+		w.MultiInstants++
+		for j := range act {
+			if act[j].when == minW {
+				act[j].key = resolveKey(w.engs[act[j].dom].par, int(act[j].idx))
+			}
+		}
+		for {
+			best := -1
+			var bestKey uint64
+			for j := range act {
+				if act[j].when != minW {
+					continue
+				}
+				if k := act[j].key; best < 0 || k < bestKey {
+					best, bestKey = j, k
+				}
+			}
+			if best < 0 {
+				break
+			}
+			p := w.engs[act[best].dom].par
+			h := int(act[best].idx)
+			p.seg = append(p.seg, segRank{start: uint64(h), base: R})
+			R++
+			h++
+			if h == len(p.log) {
+				act[best] = act[len(act)-1]
+				act = act[:len(act)-1]
+			} else {
+				act[best].idx, act[best].when = int32(h), p.log[h].when
+				if act[best].when == minW {
+					act[best].key = resolveKey(p, h)
+				}
+			}
+		}
+	}
+	if R >= parMaxRank {
+		panic("sim: parallel rank space exhausted")
+	}
+	w.nextRank = R
+	w.act = act
+}
+
+// resolveKey returns log entry i's key in committed form. A fresh
+// entry's parent fired earlier in the same domain and window, so its
+// rank is already assigned when the merge reaches the entry.
+func resolveKey(p *parCtx, i int) uint64 {
+	k := p.log[i].key
+	if k&parFresh == 0 {
+		return k
+	}
+	parent := (k & parRankMask) >> parCallBits
+	return k&^(parFresh|parRankMask) | p.rankOf(parent-p.fireBase)<<parCallBits
+}
+
+// rekeyDomain commits one domain's surviving fresh keys. Every
+// fresh-keyed event still pending at the barrier sits in the domain's
+// side buffer (a fresh event at or before the deadline fired inside
+// the window), so the rewrite visits exactly those events and inserts
+// them into the heap under their committed (rank, call) key, instead
+// of scanning the whole pending queue for fresh bits. It touches only
+// the domain's own heap and segment table, so the rekey round runs one
+// domain per worker with no coordination.
+func (e *Engine) rekeyDomain() {
+	p := e.par
+	for _, id := range p.side {
+		rec := &e.records[id]
+		parent := (rec.key & parRankMask) >> parCallBits
+		rec.key = rec.key&^(parFresh|parRankMask) | p.rankOf(parent-p.fireBase)<<parCallBits
+		e.queue.push(rec, id)
+	}
+	p.side = p.side[:0]
+	p.sideMin = Never
+}
+
+// rekey runs rekeyDomain over every domain serially (test hook; Run
+// dispatches the same work through the claiming round).
+func (w *Windowed) rekey() {
+	for _, e := range w.engs {
+		e.rekeyDomain()
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// toyDom is one domain of the toy model: a self-perpetuating event
+// chain that folds every fire instant into a hash and occasionally
+// defers a cross-domain message, exercising the full windowed protocol
+// (fresh keys, rank merge, rekey, barrier injection).
+type toyDom struct {
+	i    int
+	n    int
+	hash uint64
+}
+
+type toyMsg struct {
+	dom  int
+	fire uint64
+	call uint32
+	when Time
+	tgt  int
+	rkey uint64
+}
+
+// runToy drives the toy model to completion with the given worker
+// count and returns the per-domain hashes of the fire sequences.
+func runToy(t *testing.T, workers int) ([]uint64, *Windowed) {
+	t.Helper()
+	const (
+		N      = 4
+		window = Time(10)
+		events = 400
+	)
+	engs := make([]*Engine, N)
+	for i := range engs {
+		engs[i] = NewEngine()
+	}
+	win := NewWindowed(window, engs, workers)
+	doms := make([]*toyDom, N)
+	pend := make([][]toyMsg, N)
+
+	var fire func(e *Engine, arg any)
+	fire = func(e *Engine, arg any) {
+		d := arg.(*toyDom)
+		d.hash = d.hash*1000003 + uint64(e.Now())
+		if d.n >= events {
+			return
+		}
+		d.n++
+		e.ScheduleArg(e.Now()+Time(1+d.hash%9), fire, d)
+		if d.hash%3 == 0 {
+			f, c := e.ParCall()
+			pend[d.i] = append(pend[d.i], toyMsg{
+				dom: d.i, fire: f, call: c, when: e.Now(), tgt: (d.i + 1) % N,
+			})
+		}
+	}
+	for i := range doms {
+		doms[i] = &toyDom{i: i}
+		engs[i].ScheduleArg(Time(i+1), fire, doms[i])
+	}
+	var replay []toyMsg
+	err := win.Run(func() error {
+		replay = replay[:0]
+		for d := range pend {
+			for _, m := range pend[d] {
+				m.rkey = win.Rank(m.dom, m.fire)<<parCallBits | uint64(m.call)
+				replay = append(replay, m)
+			}
+			pend[d] = pend[d][:0]
+		}
+		sort.Slice(replay, func(i, j int) bool { return replay[i].rkey < replay[j].rkey })
+		for _, m := range replay {
+			win.Inject(m.tgt, m.when+window, 0, m.rkey>>parCallBits,
+				uint32(m.rkey&(parMaxCall-1)), fire, doms[m.tgt])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("windowed run: %v", err)
+	}
+	out := make([]uint64, N)
+	for i, d := range doms {
+		out[i] = d.hash
+	}
+	return out, win
+}
+
+// TestWindowedDeterministicAcrossWorkers asserts the core contract:
+// the fire sequence of every domain is identical at any worker count.
+func TestWindowedDeterministicAcrossWorkers(t *testing.T) {
+	want, win := runToy(t, 1)
+	if win.Windows == 0 {
+		t.Fatal("toy model executed zero windows")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, _ := runToy(t, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d domain %d hash %#x, want %#x", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWindowedBuildKeysOrdered checks that pre-run (build-time) events
+// at one instant fire in program order across schedule calls, matching
+// the sequential engine's global seq order.
+func TestWindowedBuildKeysOrdered(t *testing.T) {
+	e := NewEngine()
+	NewWindowed(5, []*Engine{e}, 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(3, func(*Engine) { order = append(order, i) })
+	}
+	e.runWindow(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("build-time fire order %v, want ascending", order)
+		}
+	}
+}
+
+// TestWindowedZeroAllocGuard pins the windowed engine's steady state —
+// schedule, fire-with-log, rank assignment, rekey, log recycle — at
+// zero allocations per event, the same contract the sequential engine
+// keeps.
+func TestWindowedZeroAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	e := NewEngine()
+	w := NewWindowed(8, []*Engine{e}, 1)
+	afn := func(*Engine, any) {}
+	arg := &struct{ n int }{}
+	// Warm: grow the free list, window log, and rank scratch.
+	w.due = append(w.due[:0], 0)
+	for i := 0; i < 4*eventBlock; i++ {
+		e.ScheduleArg(e.Now()+1, afn, arg)
+	}
+	e.windowRound(e.Now() + 1)
+	w.assignRanks()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleArg(e.Now()+1, afn, arg)
+		e.windowRound(e.Now() + 1)
+		w.assignRanks()
+	}); avg != 0 {
+		t.Errorf("windowed schedule+fire+barrier allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -227,6 +227,11 @@ type Engine struct {
 	ctrlEvery uint64
 	ctrlFn    func(*Engine) error
 	stopCause error
+	// par, when non-nil, marks this engine as one domain of a Windowed
+	// parallel run (see parallel.go): packKey derives same-instant keys
+	// from the domain's execution log instead of the sequential counter.
+	// Sequential engines pay exactly one predictable nil check here.
+	par *parCtx
 }
 
 // noControl parks ctrlNext beyond any reachable fired count.
@@ -273,6 +278,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextTime returns the instant of the earliest pending event, or false
+// if the queue is empty.
+func (e *Engine) NextTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].when, true
+}
+
 // Schedule enqueues fn to run at the given absolute time with priority
 // zero. Scheduling in the past panics: that is always a model bug.
 func (e *Engine) Schedule(at Time, fn func(*Engine)) Event {
@@ -290,8 +304,26 @@ func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) Event {
 	rec := &e.records[id]
 	rec.when, rec.key, rec.fn = at, e.packKey(at, priority), fn
 	rec.argFn = nil // recycle leaves the previous use's fields in place
-	e.queue.push(rec, id)
+	e.enqueue(rec, id)
 	return Event{eng: e, id: id, gen: rec.gen}
+}
+
+// enqueue routes a freshly scheduled record into the event heap — or,
+// inside a parallel window, into the domain's side buffer when the
+// event cannot fire before the barrier anyway (fresh key, past the
+// window deadline). Side-buffered events rejoin the heap at the
+// barrier under committed keys, so the barrier rewrites exactly the
+// keys that need it instead of walking the whole queue (parallel.go).
+// Sequential engines pay one predictable nil check.
+func (e *Engine) enqueue(rec *event, id int32) {
+	if p := e.par; p != nil && rec.key&parFresh != 0 && rec.when > p.deadline {
+		p.side = append(p.side, id)
+		if rec.when < p.sideMin {
+			p.sideMin = rec.when
+		}
+		return
+	}
+	e.queue.push(rec, id)
 }
 
 // packKey validates the schedule arguments and returns the packed
@@ -299,6 +331,9 @@ func (e *Engine) ScheduleP(at Time, priority int, fn func(*Engine)) Event {
 func (e *Engine) packKey(at Time, priority int) uint64 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	if e.par != nil {
+		return e.par.packKey(priority)
 	}
 	if priority < -priorityBias || priority >= priorityBias {
 		panic(fmt.Sprintf("sim: priority %d outside [%d, %d)", priority, -priorityBias, priorityBias))
@@ -330,7 +365,7 @@ func (e *Engine) ScheduleArgP(at Time, priority int, fn func(*Engine, any), arg 
 	rec := &e.records[id]
 	rec.when, rec.key, rec.argFn, rec.arg = at, e.packKey(at, priority), fn, arg
 	// rec.fn may be stale from a prior use; dispatch checks argFn first.
-	e.queue.push(rec, id)
+	e.enqueue(rec, id)
 	return Event{eng: e, id: id, gen: rec.gen}
 }
 
@@ -353,7 +388,19 @@ func (e *Engine) Cancel(ev Event) {
 	for i := range e.queue {
 		if e.queue[i].id == ev.id {
 			e.queue.remove(i)
-			break
+			e.recycle(ev.id)
+			return
+		}
+	}
+	// Inside a parallel window, the record may instead sit in the
+	// domain's side buffer (fresh key past the deadline; see enqueue).
+	if p := e.par; p != nil {
+		for i, id := range p.side {
+			if id == ev.id {
+				p.side[i] = p.side[len(p.side)-1]
+				p.side = p.side[:len(p.side)-1]
+				break
+			}
 		}
 	}
 	e.recycle(ev.id)

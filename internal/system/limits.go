@@ -128,6 +128,20 @@ func (m *machine) diag() Diag {
 		CoresFinished: m.finished,
 		Cores:         len(m.cores),
 	}
+	if p := m.par; p != nil {
+		d.NowPS, d.Events, d.QueueDepth = 0, 0, 0
+		for _, e := range p.engs {
+			if e.Now() > d.NowPS {
+				d.NowPS = e.Now()
+			}
+			d.Events += e.Fired()
+			d.QueueDepth += e.Pending()
+		}
+		d.CoresFinished = 0
+		for _, f := range p.finished {
+			d.CoresFinished += f
+		}
+	}
 	for _, ctl := range m.ctrls {
 		d.CtrlQueueLens = append(d.CtrlQueueLens, ctl.QueueLen())
 	}

@@ -1,0 +1,556 @@
+package system
+
+// Intra-run parallelism: the machine partitioned into sim.Windowed
+// domains — one per L2 cluster (cores, L1s, L2, its directory shards,
+// its transaction pool) and one per memory channel (controller + DRAM
+// device). All domain-crossing interactions ride the mesh, whose
+// minimum latency is one hop (NoCHopPS), so the synchronization window
+// is exactly one hop wide: mesh sends are deferred during a window and
+// replayed serially at the barrier in the sequential engine's exact
+// issue order (global parent rank, then call index), claiming links,
+// advancing mesh statistics, and injecting delivery events with their
+// sequential same-instant keys. Results are byte-identical to the
+// sequential engine at any worker count; `internal/check/golden`
+// asserts this against the committed fixtures.
+//
+// Eligibility. The decomposition requires that no cache block is
+// touched by two clusters (directory state is sharded per cluster):
+// synthetic workloads guarantee it structurally when every profile has
+// SharedFrac == 0, because each thread's address stream stays inside
+// its private slot. Runs with shared-memory profiles, custom
+// generators, or per-event observers (Sampler/Tracer) fall back to the
+// sequential engine. A violated assumption panics rather than
+// silently diverging.
+//
+// Warm-up cut. The sequential engine snapshots all counters mid-event,
+// inside the last core's warm-up crossing. The parallel run reproduces
+// that cut exactly: the hosting cluster snapshots its own cache
+// counters synchronously; every other domain journals per-event
+// counter pre-images while warm-up is pending, and the barrier locates
+// the cut by global rank; mesh counters are cut during send replay at
+// the crossing's (rank, call) position.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"microbank/internal/cache"
+	"microbank/internal/memctrl"
+	"microbank/internal/parallel"
+	"microbank/internal/sim"
+)
+
+// intraEligible reports whether the spec can run on the windowed
+// parallel engine with bit-identical results.
+func (s *Spec) intraEligible() bool {
+	if s.IntraParallelism <= 1 || s.GeneratorFor != nil {
+		return false
+	}
+	for _, p := range s.Profiles {
+		if p.SharedFrac > 0 {
+			return false
+		}
+	}
+	if s.Obs != nil && (s.Obs.Sampler != nil || s.Obs.Tracer != nil) {
+		return false
+	}
+	return true
+}
+
+// parDeliver invokes a deferred mesh delivery carried as a ScheduleArg
+// payload (the parallel twin of noc's deliverCb).
+var parDeliver = func(e *sim.Engine, arg any) { arg.(func(at sim.Time))(e.Now()) }
+
+// parSend is one deferred mesh send: the call site's identity (domain,
+// parent fire index, call index) plus the routing parameters. rkey is
+// the resolved global issue order, filled at the barrier.
+type parSend struct {
+	dom     int
+	fire    uint64
+	call    uint32
+	when    sim.Time
+	src     int
+	dst     int
+	bytes   int
+	deliver func(at sim.Time)
+	tgt     int // target domain of the delivery event
+	rkey    uint64
+}
+
+const sendCallBits = 20 // matches the engine's parallel key layout
+
+// clPre / chPre are per-event counter pre-images journaled while the
+// warm-up cut is pending.
+type clPre struct {
+	fire               uint64
+	l1a, l1h, l2a, l2h uint64
+}
+type chPre struct {
+	fire  uint64
+	stats memctrl.Stats
+}
+
+// warmEvt records one core's warm-up crossing: its cut position and
+// the hosting cluster's cache counters at that exact mid-event point.
+type warmEvt struct {
+	cl                 int
+	fire               uint64
+	call               uint32
+	at                 sim.Time
+	l1a, l1h, l2a, l2h uint64
+}
+
+// parRun is the parallel-mode state of one machine.
+type parRun struct {
+	m        *machine
+	win      *sim.Windowed
+	engs     []*sim.Engine
+	clusters int
+	channels int
+
+	// Per-source-domain deferred mesh sends, merged and replayed at
+	// each barrier; replay is the merge target, sorter its persistent
+	// sort.Interface (no per-window boxing).
+	sends  [][]parSend
+	replay []parSend
+	sorter sort.Interface
+
+	// Per-cluster transaction pools; posted writes retire inside
+	// channel domains and park on chanFree until the barrier splices
+	// them back to their owning cluster.
+	pools    [][]*memTxn
+	chanFree [][]*memTxn
+
+	// dirs[ch][cl] shards each channel's directory by cluster; disjoint
+	// address streams make the shards exact.
+	dirs [][]*cache.Directory
+
+	// Per-cluster completion state (summed/maxed after the run).
+	finished []int
+	lastEnd  []sim.Time
+
+	// Warm-up cut state.
+	warmPending bool
+	warmSeen    int
+	warmEvts    [][]warmEvt // per cluster, current window
+	clJournal   [][]clPre   // per cluster, current window
+	chJournal   [][]chPre   // per channel, current window
+	cutPend     bool
+	cutKey      uint64 // rank<<sendCallBits | call of the crossing
+	pendSnap    *rawCounters
+
+	crossMsgs uint64
+}
+
+func (p *parRun) clDom(cl int) int { return cl }
+func (p *parRun) chDom(ch int) int { return p.clusters + ch }
+
+// send defers a mesh send issued by the event currently firing in dom,
+// consuming one of its schedule-call slots exactly where the
+// sequential engine would have consumed a sequence number.
+func (p *parRun) send(dom, src, dst, bytes int, deliver func(at sim.Time), tgt int) {
+	e := p.engs[dom]
+	fire, call := e.ParCall()
+	p.sends[dom] = append(p.sends[dom], parSend{
+		dom: dom, fire: fire, call: call, when: e.Now(),
+		src: src, dst: dst, bytes: bytes, deliver: deliver, tgt: tgt,
+	})
+}
+
+type sendSorter struct{ s *[]parSend }
+
+func (ss *sendSorter) Len() int           { return len(*ss.s) }
+func (ss *sendSorter) Less(i, j int) bool { return (*ss.s)[i].rkey < (*ss.s)[j].rkey }
+func (ss *sendSorter) Swap(i, j int)      { (*ss.s)[i], (*ss.s)[j] = (*ss.s)[j], (*ss.s)[i] }
+
+// replaySends applies the window's deferred mesh sends in the
+// sequential engine's issue order: resolved global rank of the issuing
+// event, then call index within it. Link reservations, mesh counters,
+// and delivery keys therefore evolve exactly as in a sequential run.
+func (p *parRun) replaySends() {
+	p.replay = p.replay[:0]
+	for d := range p.sends {
+		for i := range p.sends[d] {
+			s := p.sends[d][i]
+			s.rkey = p.win.Rank(s.dom, s.fire)<<sendCallBits | uint64(s.call)
+			p.replay = append(p.replay, s)
+		}
+		p.sends[d] = p.sends[d][:0]
+	}
+	sort.Sort(p.sorter)
+	for i := range p.replay {
+		s := &p.replay[i]
+		if p.cutPend && s.rkey > p.cutKey {
+			p.takeMeshCut()
+		}
+		t := p.m.mesh.RouteAt(s.when, s.src, s.dst, s.bytes)
+		p.win.Inject(s.tgt, t, 0, s.rkey>>sendCallBits, uint32(s.rkey&(1<<sendCallBits-1)), parDeliver, s.deliver)
+		p.crossMsgs++
+	}
+	if p.cutPend {
+		p.takeMeshCut()
+	}
+}
+
+// takeMeshCut completes a pending warm-up snapshot with the mesh
+// counters at the cut position and publishes it.
+func (p *parRun) takeMeshCut() {
+	p.pendSnap.nocPackets = p.m.mesh.Packets
+	p.pendSnap.nocHops = p.m.mesh.TotalHops
+	p.m.warmSnap = p.pendSnap
+	p.cutPend = false
+	p.pendSnap = nil
+}
+
+// splice returns channel-retired transaction records to their owning
+// clusters' pools, in channel then retirement order — deterministic,
+// and semantically neutral because reused records are fully reset.
+func (p *parRun) splice() {
+	for ch := range p.chanFree {
+		for _, t := range p.chanFree[ch] {
+			p.pools[t.cl] = append(p.pools[t.cl], t)
+		}
+		p.chanFree[ch] = p.chanFree[ch][:0]
+	}
+}
+
+// armWarm installs the per-event journaling hooks that make the
+// mid-event warm-up cut reconstructible at barriers.
+func (p *parRun) armWarm() {
+	p.warmPending = true
+	p.warmEvts = make([][]warmEvt, p.clusters)
+	p.clJournal = make([][]clPre, p.clusters)
+	p.chJournal = make([][]chPre, p.channels)
+	for cl := 0; cl < p.clusters; cl++ {
+		cl := cl
+		p.win.SetFireHook(p.clDom(cl), func() {
+			fire, _ := p.engs[p.clDom(cl)].ParMark()
+			a1, h1, a2, h2 := p.clusterCacheSums(cl)
+			p.clJournal[cl] = append(p.clJournal[cl], clPre{fire, a1, h1, a2, h2})
+		})
+	}
+	for ch := 0; ch < p.channels; ch++ {
+		ch := ch
+		ctl := p.m.ctrls[ch]
+		p.win.SetFireHook(p.chDom(ch), func() {
+			fire, _ := p.engs[p.chDom(ch)].ParMark()
+			p.chJournal[ch] = append(p.chJournal[ch], chPre{fire, ctl.Stats()})
+		})
+	}
+}
+
+// clusterCacheSums sums a cluster's L1 and L2 access/hit counters.
+func (p *parRun) clusterCacheSums(cl int) (l1a, l1h, l2a, l2h uint64) {
+	m := p.m
+	lo := cl * m.spec.Sys.CoresPerL2
+	hi := lo + m.spec.Sys.CoresPerL2
+	if hi > len(m.l1s) {
+		hi = len(m.l1s)
+	}
+	for i := lo; i < hi; i++ {
+		s := m.l1s[i].Stats()
+		l1a += s.Accesses
+		l1h += s.Hits
+	}
+	s := m.l2s[cl].Stats()
+	return l1a, l1h, s.Accesses, s.Hits
+}
+
+// coreWarm records one core's warm-up crossing synchronously inside
+// the crossing event: its (fire, call) cut position and the hosting
+// cluster's exact mid-event cache counters.
+func (p *parRun) coreWarm(cl int) {
+	e := p.engs[p.clDom(cl)]
+	fire, call := e.ParMark()
+	w := warmEvt{cl: cl, fire: fire, call: call, at: e.Now()}
+	w.l1a, w.l1h, w.l2a, w.l2h = p.clusterCacheSums(cl)
+	p.warmEvts[cl] = append(p.warmEvts[cl], w)
+}
+
+// resolveWarm processes the window's warm-up crossings in global event
+// order. When the last core crosses, it assembles the counter snapshot
+// at that exact cut: the hosting cluster from the crossing's
+// synchronous capture, every other domain from its journal (the first
+// entry ranked after the cut holds the pre-image; if none, the
+// domain's whole window precedes the cut).
+func (p *parRun) resolveWarm() {
+	if !p.warmPending {
+		return
+	}
+	var evts []warmEvt
+	var ranks []uint64
+	for cl := range p.warmEvts {
+		for _, w := range p.warmEvts[cl] {
+			evts = append(evts, w)
+			ranks = append(ranks, p.win.Rank(p.clDom(w.cl), w.fire))
+		}
+	}
+	sort.Sort(&warmSorter{evts, ranks})
+	for i, w := range evts {
+		p.warmSeen++
+		if p.warmSeen < len(p.m.cores) {
+			continue
+		}
+		R := ranks[i]
+		p.cutPend = true
+		p.cutKey = R<<sendCallBits | uint64(w.call)
+		p.m.warmTime = w.at
+		rc := &rawCounters{}
+		for cl := 0; cl < p.clusters; cl++ {
+			var a1, h1, a2, h2 uint64
+			if cl == w.cl {
+				a1, h1, a2, h2 = w.l1a, w.l1h, w.l2a, w.l2h
+			} else {
+				a1, h1, a2, h2 = p.clCut(cl, R)
+			}
+			rc.l1a += a1
+			rc.l1h += h1
+			rc.l2a += a2
+			rc.l2h += h2
+		}
+		for ch := 0; ch < p.channels; ch++ {
+			rc.mem = addStats(rc.mem, p.chCut(ch, R))
+		}
+		p.pendSnap = rc // noc fields filled during send replay
+		p.warmPending = false
+		for dom := range p.engs {
+			p.win.SetFireHook(dom, nil)
+		}
+		break
+	}
+	for cl := range p.warmEvts {
+		p.warmEvts[cl] = p.warmEvts[cl][:0]
+		p.clJournal[cl] = p.clJournal[cl][:0]
+	}
+	for ch := range p.chJournal {
+		p.chJournal[ch] = p.chJournal[ch][:0]
+	}
+}
+
+type warmSorter struct {
+	evts  []warmEvt
+	ranks []uint64
+}
+
+func (w *warmSorter) Len() int           { return len(w.evts) }
+func (w *warmSorter) Less(i, j int) bool { return w.ranks[i] < w.ranks[j] }
+func (w *warmSorter) Swap(i, j int) {
+	w.evts[i], w.evts[j] = w.evts[j], w.evts[i]
+	w.ranks[i], w.ranks[j] = w.ranks[j], w.ranks[i]
+}
+
+// clCut returns cluster cl's cache counters as of the cut rank.
+func (p *parRun) clCut(cl int, R uint64) (l1a, l1h, l2a, l2h uint64) {
+	for _, j := range p.clJournal[cl] {
+		if p.win.Rank(p.clDom(cl), j.fire) > R {
+			return j.l1a, j.l1h, j.l2a, j.l2h
+		}
+	}
+	return p.clusterCacheSums(cl)
+}
+
+// chCut returns channel ch's controller statistics as of the cut rank.
+func (p *parRun) chCut(ch int, R uint64) memctrl.Stats {
+	for _, j := range p.chJournal[ch] {
+		if p.win.Rank(p.chDom(ch), j.fire) > R {
+			return j.stats
+		}
+	}
+	return p.m.ctrls[ch].Stats()
+}
+
+// addStats returns a + b field-wise (the inverse of subStats).
+func addStats(a, b memctrl.Stats) memctrl.Stats {
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.RowHits += b.RowHits
+	a.RowOpens += b.RowOpens
+	a.RowConflictPres += b.RowConflictPres
+	a.Retired += b.Retired
+	a.QueueOccIntegral += b.QueueOccIntegral
+	a.ReadLatencyIntegralPS += b.ReadLatencyIntegralPS
+	a.PredDecisions += b.PredDecisions
+	a.PredRight += b.PredRight
+	a.Energy.ActPrePJ += b.Energy.ActPrePJ
+	a.Energy.RdWrPJ += b.Energy.RdWrPJ
+	a.Energy.IOPJ += b.Energy.IOPJ
+	a.Energy.RefreshPJ += b.Energy.RefreshPJ
+	a.Energy.LatchPJ += b.Energy.LatchPJ
+	a.Energy.Acts += b.Energy.Acts
+	a.Energy.Reads += b.Energy.Reads
+	a.Energy.Writes += b.Energy.Writes
+	a.Energy.Pres += b.Energy.Pres
+	a.Energy.Refreshes += b.Energy.Refreshes
+	return a
+}
+
+// imbalance is max/mean fired events across domains (1.0 = perfectly
+// balanced).
+func (p *parRun) imbalance() float64 {
+	fired := p.win.DomainFired()
+	var sum, max uint64
+	for _, f := range fired {
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(fired)) / float64(sum)
+}
+
+// parWatchdog enforces run limits at window barriers. Checks run once
+// per CheckEvents fired events (aggregated over domains), so trips are
+// window-granular: a bounded parallel run trips deterministically at
+// the same barrier for any worker count, though not necessarily at the
+// same event as the sequential engine (documented in EXPERIMENTS.md;
+// unbounded runs are byte-identical).
+type parWatchdog struct {
+	p         *parRun
+	l         *Limits
+	check     uint64
+	windows   int
+	deadline  time.Time
+	lastCheck uint64
+	lastNow   sim.Time
+	frozen    int
+}
+
+func (p *parRun) armWatchdog(l *Limits) *parWatchdog {
+	w := &parWatchdog{p: p, l: l, check: l.CheckEvents, windows: l.StallWindows}
+	if w.check == 0 {
+		w.check = defaultCheckEvents
+	}
+	if w.windows <= 0 {
+		w.windows = defaultStallWindows
+	}
+	if l.WallClock > 0 {
+		w.deadline = time.Now().Add(l.WallClock)
+	}
+	if p.m.spec.Obs != nil {
+		m := p.m
+		p.m.spec.Obs.Registry.GaugeFunc("sys.watchdog_checks", func() float64 {
+			return float64(m.wdChecks)
+		})
+	}
+	return w
+}
+
+// barrier runs the due watchdog checks for the current barrier.
+func (w *parWatchdog) barrier() error {
+	var fired uint64
+	var now sim.Time
+	for _, e := range w.p.engs {
+		fired += e.Fired()
+		if e.Now() > now {
+			now = e.Now()
+		}
+	}
+	m, l := w.p.m, w.l
+	for fired-w.lastCheck >= w.check {
+		w.lastCheck += w.check
+		m.wdChecks++
+		if l.Ctx != nil {
+			if err := l.Ctx.Err(); err != nil {
+				return &LimitError{Kind: LimitCancelled,
+					Msg: "run cancelled: " + err.Error(), Diag: m.diag()}
+			}
+		}
+		if l.EventBudget > 0 && fired >= l.EventBudget {
+			return &LimitError{Kind: LimitEventBudget,
+				Msg:  fmt.Sprintf("event budget %d exhausted", l.EventBudget),
+				Diag: m.diag()}
+		}
+		if l.WallClock > 0 && time.Now().After(w.deadline) {
+			return &LimitError{Kind: LimitDeadline,
+				Msg:  fmt.Sprintf("wall-clock deadline %s exceeded", l.WallClock),
+				Diag: m.diag()}
+		}
+		if now != w.lastNow {
+			w.lastNow, w.frozen = now, 0
+		} else if w.frozen++; w.frozen >= w.windows {
+			return &LimitError{Kind: LimitLivelock,
+				Msg: fmt.Sprintf("livelock: sim clock frozen across %d watchdog windows (%d events)",
+					w.frozen, uint64(w.frozen)*w.check),
+				Diag: m.diag()}
+		}
+	}
+	return nil
+}
+
+// runIntra executes an eligible spec on the windowed parallel engine.
+func runIntra(spec Spec) (Result, error) {
+	sys := spec.Sys
+	clusters := (sys.Cores + sys.CoresPerL2 - 1) / sys.CoresPerL2
+	channels := sys.Mem.Org.Channels
+	doms := clusters + channels
+	width := spec.IntraParallelism
+	if width > doms {
+		width = doms
+	}
+	// One worker is this goroutine; extras come from the shared
+	// intra-parallelism budget so sweeps don't oversubscribe. The
+	// grant affects wall-clock only — results are width-independent.
+	extra := parallel.AcquireIntra(width - 1)
+	defer parallel.ReleaseIntra(extra)
+
+	engs := make([]*sim.Engine, doms)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	win := sim.NewWindowed(sys.NoCHopPS, engs, 1+extra)
+	p := &parRun{
+		win: win, engs: engs, clusters: clusters, channels: channels,
+		sends:    make([][]parSend, doms),
+		pools:    make([][]*memTxn, clusters),
+		chanFree: make([][]*memTxn, channels),
+		finished: make([]int, clusters),
+		lastEnd:  make([]sim.Time, clusters),
+		dirs:     make([][]*cache.Directory, channels),
+	}
+	p.sorter = &sendSorter{&p.replay}
+	m := build(spec, p)
+	p.m = m
+	if spec.WarmupInstr > 0 {
+		p.armWarm()
+	}
+	if spec.Obs != nil {
+		m.wireObs(spec.Obs)
+	}
+	var wd *parWatchdog
+	if spec.Limits.armed() {
+		wd = p.armWatchdog(spec.Limits)
+	}
+	for _, c := range m.cores {
+		c.Start()
+	}
+	err := win.Run(func() error {
+		p.resolveWarm()
+		p.replaySends()
+		p.splice()
+		if wd != nil {
+			return wd.barrier()
+		}
+		return nil
+	})
+	for _, f := range p.finished {
+		m.finished += f
+	}
+	for _, t := range p.lastEnd {
+		if t > m.lastEnd {
+			m.lastEnd = t
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if m.finished != len(m.cores) {
+		return Result{}, &LimitError{Kind: LimitStall,
+			Msg:  fmt.Sprintf("stalled with %d/%d cores finished (events drained)", m.finished, len(m.cores)),
+			Diag: m.diag()}
+	}
+	return m.collect(), nil
+}

@@ -1,0 +1,135 @@
+package system
+
+import (
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/obs"
+	"microbank/internal/workload"
+)
+
+// TestMain widens GOMAXPROCS so the intra-parallel tests exercise real
+// worker goroutines (and the race detector sees them) even on a
+// single-CPU test host; results are width-independent by design.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+// intraSpecs returns the specs the exactness tests sweep: the golden
+// single-core shape and a multi-core multiprogrammed mix, both with the
+// mid-run warm-up cut armed (the hardest state to reproduce exactly).
+func intraSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	single := config.SingleCore(config.MemPreset(config.LPDDRTSI, 2, 8))
+	specs := map[string]Spec{
+		"single-core": UniformSpec(single, workload.MustGet("429.mcf"), 4000, 42),
+	}
+	multi := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+	multi.Cores = 16
+	mix := workload.Mix{Name: "intra-test", Members: []string{
+		"429.mcf", "470.lbm", "433.milc", "462.libquantum",
+	}}
+	specs["16-core-mix"] = MixSpec(multi, mix, 3000, 42)
+	for name, s := range specs {
+		s.WarmupInstr = s.InstrPerCore / 2
+		specs[name] = s
+	}
+	return specs
+}
+
+// TestIntraMatchesSequential is the local bit-exactness gate: the
+// windowed parallel engine must produce a Result deeply equal to the
+// sequential engine's, including every float, at several widths.
+func TestIntraMatchesSequential(t *testing.T) {
+	for name, spec := range intraSpecs(t) {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want, err := Run(spec)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			for _, width := range []int{2, 4, runtime.NumCPU()} {
+				ps := spec
+				ps.IntraParallelism = width
+				got, err := Run(ps)
+				if err != nil {
+					t.Fatalf("intra width %d: %v", width, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("intra width %d: result diverged from sequential\n got: %+v\nwant: %+v",
+						width, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraNoWarmup covers the no-warm-up path (no cut machinery).
+func TestIntraNoWarmup(t *testing.T) {
+	spec := intraSpecs(t)["16-core-mix"]
+	spec.WarmupInstr = 0
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	spec.IntraParallelism = 4
+	got, err := Run(spec)
+	if err != nil {
+		t.Fatalf("intra run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("no-warmup result diverged\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestIntraRegistryObs checks that a registry-only observer (no
+// sampler/tracer) stays on the parallel path and gathers the windowed-
+// engine gauges.
+func TestIntraRegistryObs(t *testing.T) {
+	spec := intraSpecs(t)["single-core"]
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	spec.IntraParallelism = 4
+	spec.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+	got, err := Run(spec)
+	if err != nil {
+		t.Fatalf("observed intra run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observed intra result diverged\n got: %+v\nwant: %+v", got, want)
+	}
+	snap := spec.Obs.Registry.Gather()
+	var windows float64
+	found := false
+	for _, mp := range snap {
+		if mp.Name == "sim.windows" {
+			windows, found = mp.Value, true
+		}
+	}
+	if !found || windows <= 0 {
+		t.Errorf("sim.windows gauge missing or zero (found=%v val=%v)", found, windows)
+	}
+}
+
+// TestIntraFallback checks that ineligible specs silently use the
+// sequential engine rather than failing.
+func TestIntraFallback(t *testing.T) {
+	spec := intraSpecs(t)["single-core"]
+	spec.IntraParallelism = 4
+	spec.Profiles = []workload.Profile{workload.MustGet("canneal")} // SharedFrac > 0
+	if spec.intraEligible() {
+		t.Fatal("shared-memory profile should not be intra-eligible")
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+}

@@ -56,6 +56,14 @@ type Spec struct {
 	// a tripped limit returns a *LimitError. Nil runs unbounded with an
 	// untouched hot path.
 	Limits *Limits
+	// IntraParallelism > 1 requests the windowed conservative parallel
+	// engine (one event domain per L2 cluster and per memory channel),
+	// bit-identical to the sequential engine at any width. Runs that the
+	// decomposition cannot cover exactly — custom generators, shared-
+	// memory profiles, per-event observers — fall back to the sequential
+	// path; see Spec.intraEligible. Watchdog limits are honored at
+	// window granularity. 0 or 1 selects the sequential engine.
+	IntraParallelism int
 }
 
 // Result carries every metric the experiments report.
@@ -110,6 +118,11 @@ type machine struct {
 	// wdChecks counts watchdog hook invocations (exported through obs
 	// as sys.watchdog_checks when limits are armed).
 	wdChecks uint64
+
+	// par is non-nil when the machine runs on the windowed parallel
+	// engine; branch sites below defer mesh sends and shard per-cluster
+	// state through it. Sequential runs pay one nil check per site.
+	par *parRun
 }
 
 // memTxn is a pooled memory-transaction record: one L2 miss (DRAM fill
@@ -119,6 +132,7 @@ type machine struct {
 type memTxn struct {
 	m     *machine
 	ch    int // home memory channel
+	cl    int // requesting cluster (parallel mode: owning domain/pool)
 	src   int // requester mesh node
 	dst   int // controller mesh node
 	extra sim.Time
@@ -139,17 +153,50 @@ type memTxn struct {
 	replyDone func(at sim.Time)
 }
 
-// allocTxn returns a pooled or freshly wired transaction record.
-func (m *machine) allocTxn() *memTxn {
+// allocTxn returns a pooled or freshly wired transaction record for a
+// request issued by the given cluster. Parallel runs pool per cluster
+// (each pool is touched only by its owning domain); pool order is
+// semantically neutral because every reuse fully resets the record.
+func (m *machine) allocTxn(cl int) *memTxn {
+	if p := m.par; p != nil {
+		pool := p.pools[cl]
+		if n := len(pool); n > 0 {
+			t := pool[n-1]
+			pool[n-1] = nil
+			p.pools[cl] = pool[:n-1]
+			t.cl = cl
+			return t
+		}
+		t := m.newTxn()
+		t.cl = cl
+		return t
+	}
 	if n := len(m.txnFree); n > 0 {
 		t := m.txnFree[n-1]
 		m.txnFree[n-1] = nil
 		m.txnFree = m.txnFree[:n-1]
+		t.cl = cl
 		return t
 	}
+	t := m.newTxn()
+	t.cl = cl
+	return t
+}
+
+// newTxn wires a fresh transaction record's callback legs once.
+func (m *machine) newTxn() *memTxn {
 	t := &memTxn{m: m}
 	t.reqArrived = func(sim.Time) { t.m.ctrls[t.ch].Enqueue(&t.req) }
-	t.sendReply = func(sim.Time) { t.m.mesh.Send(t.dst, t.src, 16+64, t.replyDone) }
+	t.sendReply = func(sim.Time) {
+		if p := t.m.par; p != nil {
+			// Fires inside channel t.ch's domain for both the DRAM Done
+			// and cache-to-cache forward paths; the reply lands in the
+			// requesting cluster's domain.
+			p.send(p.chDom(t.ch), t.dst, t.src, 16+64, t.replyDone, p.clDom(t.cl))
+			return
+		}
+		t.m.mesh.Send(t.dst, t.src, 16+64, t.replyDone)
+	}
 	t.replyDone = func(at sim.Time) {
 		d, extra := t.done, t.extra
 		t.m.recycleTxn(t)
@@ -159,23 +206,37 @@ func (m *machine) allocTxn() *memTxn {
 }
 
 // recycleTxn returns a finished record to the pool, dropping callback
-// references so pooled records don't pin caller state.
+// references so pooled records don't pin caller state. Fires in the
+// requesting cluster's domain (the reply leg).
 func (m *machine) recycleTxn(t *memTxn) {
 	t.done = nil
 	t.req.Done = nil
 	t.req.Owner = nil
+	if p := m.par; p != nil {
+		p.pools[t.cl] = append(p.pools[t.cl], t)
+		return
+	}
 	m.txnFree = append(m.txnFree, t)
 }
 
 // reqRetired is the controllers' OnRetire hook. Posted writes have no
 // Done/reply leg, so retirement is their completion: recycle the record
 // here. Read fills recycle on the reply leg instead (their Done event
-// may still be in flight at retirement).
+// may still be in flight at retirement). In parallel mode retirement
+// fires inside the channel's domain, so the record parks on the
+// channel's free list until the barrier splices it home.
 func (m *machine) reqRetired(r *memctrl.Request) {
 	if r.Done != nil {
 		return
 	}
 	if t, ok := r.Owner.(*memTxn); ok {
+		if p := m.par; p != nil {
+			t.done = nil
+			t.req.Done = nil
+			t.req.Owner = nil
+			p.chanFree[t.ch] = append(p.chanFree[t.ch], t)
+			return
+		}
 		m.recycleTxn(t)
 	}
 }
@@ -276,7 +337,10 @@ func Run(spec Spec) (Result, error) {
 	if spec.WarmupInstr >= spec.InstrPerCore {
 		return Result{}, fmt.Errorf("system: warm-up %d >= budget %d", spec.WarmupInstr, spec.InstrPerCore)
 	}
-	m := build(spec)
+	if spec.intraEligible() {
+		return runIntra(spec)
+	}
+	m := build(spec, nil)
 	if spec.Obs != nil {
 		m.wireObs(spec.Obs)
 		if spec.Obs.Sampler != nil {
@@ -301,11 +365,32 @@ func Run(spec Spec) (Result, error) {
 	return m.collect(), nil
 }
 
-func build(spec Spec) *machine {
+// build assembles the machine. A non-nil par places each component on
+// its domain's engine (clusters and channels in the same index order as
+// runIntra) but otherwise constructs in the exact sequential order, so
+// build-time events carry identical keys.
+func build(spec Spec, par *parRun) *machine {
 	sys := spec.Sys
-	eng := sim.NewEngine()
 	clusters := (sys.Cores + sys.CoresPerL2 - 1) / sys.CoresPerL2
 	channels := sys.Mem.Org.Channels
+	var eng *sim.Engine
+	if par == nil {
+		eng = sim.NewEngine()
+	} else {
+		eng = par.engs[0]
+	}
+	clEng := func(cl int) *sim.Engine {
+		if par == nil {
+			return eng
+		}
+		return par.engs[par.clDom(cl)]
+	}
+	chEng := func(ch int) *sim.Engine {
+		if par == nil {
+			return eng
+		}
+		return par.engs[par.chDom(ch)]
+	}
 
 	// Mesh must cover both clusters and controllers.
 	dim := sys.MeshDim
@@ -318,6 +403,7 @@ func build(spec Spec) *machine {
 	m := &machine{
 		eng:  eng,
 		spec: spec,
+		par:  par,
 		mesh: noc.New(eng, dim, sys.NoCHopPS, 64),
 	}
 
@@ -325,16 +411,23 @@ func build(spec Spec) *machine {
 
 	retire := m.reqRetired
 	for ch := 0; ch < channels; ch++ {
-		ctl := memctrl.New(eng, sys.Mem, sys.Ctrl, sys.Cores)
+		ctl := memctrl.New(chEng(ch), sys.Mem, sys.Ctrl, sys.Cores)
 		ctl.OnRetire = retire
 		m.ctrls = append(m.ctrls, ctl)
+		if par != nil {
+			shards := make([]*cache.Directory, clusters)
+			for cl := range shards {
+				shards[cl] = cache.NewDirectory(max(clusters, 1))
+			}
+			par.dirs[ch] = shards
+		}
 		m.dirs = append(m.dirs, cache.NewDirectory(max(clusters, 1)))
 	}
 
 	m.l2Wait = make([][]func() bool, clusters)
 	for cl := 0; cl < clusters; cl++ {
 		cl := cl
-		l2 := cache.New(eng, sys.L2, corePeriod,
+		l2 := cache.New(clEng(cl), sys.L2, corePeriod,
 			func(block uint64, write bool, thread int, done func(at sim.Time)) {
 				m.l2Miss(cl, block, write, thread, done)
 			},
@@ -349,7 +442,7 @@ func build(spec Spec) *machine {
 	for core := 0; core < sys.Cores; core++ {
 		core := core
 		cl := core / sys.CoresPerL2
-		l1 := cache.New(eng, sys.L1D, corePeriod,
+		l1 := cache.New(clEng(cl), sys.L1D, corePeriod,
 			func(block uint64, write bool, thread int, done func(at sim.Time)) {
 				m.l1Miss(cl, block, write, thread, done)
 			},
@@ -382,11 +475,18 @@ func build(spec Spec) *machine {
 			Seed:        spec.Seed + int64(core)*131,
 		}
 		var cc *cpu.Core
-		cc = cpu.New(eng, params, gen,
+		cc = cpu.New(clEng(cl), params, gen,
 			func(addrV uint64, write bool, done func(at sim.Time)) bool {
 				return l1.Access(addrV, write, core, done)
 			},
 			func(st cpu.Stats) {
+				if par != nil {
+					par.finished[cl]++
+					if st.FinishAt > par.lastEnd[cl] {
+						par.lastEnd[cl] = st.FinishAt
+					}
+					return
+				}
 				m.finished++
 				if st.FinishAt > m.lastEnd {
 					m.lastEnd = st.FinishAt
@@ -394,7 +494,11 @@ func build(spec Spec) *machine {
 			})
 		l1.OnMSHRFree = cc.Kick
 		if spec.WarmupInstr > 0 {
-			cc.OnWarm = m.coreWarmed
+			if par != nil {
+				cc.OnWarm = func() { par.coreWarm(cl) }
+			} else {
+				cc.OnWarm = m.coreWarmed
+			}
 		}
 		m.cores = append(m.cores, cc)
 	}
@@ -437,7 +541,18 @@ func (m *machine) homeChannel(block uint64) int {
 // actions, NoC transfer, and (usually) a main-memory access.
 func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done func(at sim.Time)) {
 	ch := m.homeChannel(block)
-	out := m.dirs[ch].Fill(block, cluster, write)
+	var out cache.Outcome
+	if p := m.par; p != nil {
+		// Disjoint per-cluster address streams (the eligibility gate)
+		// let each cluster own a private directory shard; coherence
+		// actions against other clusters cannot occur.
+		out = p.dirs[ch][cluster].Fill(block, cluster, write)
+		if len(out.Invalidate) != 0 || len(out.Downgrade) != 0 {
+			panic("system: cross-cluster sharing in intra-parallel run")
+		}
+	} else {
+		out = m.dirs[ch].Fill(block, cluster, write)
+	}
 	src := m.clusterNode(cluster)
 	dst := m.ctrlNode(ch)
 
@@ -451,10 +566,14 @@ func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done
 	}
 	extra := sim.Time(out.ExtraHops) * m.mesh.Latency(src, dst)
 
-	t := m.allocTxn()
+	t := m.allocTxn(cluster)
 	t.ch, t.src, t.dst, t.extra, t.done = ch, src, dst, extra, done
 	if !out.NeedMem {
 		// Cache-to-cache transfer: request + forwarded line, no DRAM.
+		if p := m.par; p != nil {
+			p.send(p.clDom(cluster), src, dst, 16, t.sendReply, p.chDom(ch))
+			return
+		}
 		m.mesh.Send(src, dst, 16, t.sendReply)
 		return
 	}
@@ -465,6 +584,10 @@ func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done
 		Done:   t.sendReply,
 		Owner:  t,
 	}
+	if p := m.par; p != nil {
+		p.send(p.clDom(cluster), src, dst, 16, t.reqArrived, p.chDom(ch))
+		return
+	}
 	m.mesh.Send(src, dst, 16, t.reqArrived)
 }
 
@@ -472,7 +595,11 @@ func (m *machine) l2Miss(cluster int, block uint64, write bool, thread int, done
 // invalidate the cluster's L1s (inclusive hierarchy).
 func (m *machine) l2Evicted(cluster int, block uint64) {
 	ch := m.homeChannel(block)
-	m.dirs[ch].Evict(block, cluster)
+	if p := m.par; p != nil {
+		p.dirs[ch][cluster].Evict(block, cluster)
+	} else {
+		m.dirs[ch].Evict(block, cluster)
+	}
 	lo := cluster * m.spec.Sys.CoresPerL2
 	hi := lo + m.spec.Sys.CoresPerL2
 	if hi > len(m.l1s) {
@@ -487,9 +614,13 @@ func (m *machine) l2Evicted(cluster int, block uint64) {
 // transaction record is recycled by the controller's OnRetire hook.
 func (m *machine) memWrite(cluster int, block uint64, thread int) {
 	ch := m.homeChannel(block)
-	t := m.allocTxn()
+	t := m.allocTxn(cluster)
 	t.ch, t.src, t.dst, t.extra, t.done = ch, m.clusterNode(cluster), m.ctrlNode(ch), 0, nil
 	t.req = memctrl.Request{Addr: block, Write: true, Thread: thread, Owner: t}
+	if p := m.par; p != nil {
+		p.send(p.clDom(cluster), t.src, t.dst, 16+64, t.reqArrived, p.chDom(ch))
+		return
+	}
 	m.mesh.Send(t.src, t.dst, 16+64, t.reqArrived)
 }
 
