@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 	"testing"
+	"time"
 )
 
 // toyDom is one domain of the toy model: a self-perpetuating event
@@ -121,6 +122,80 @@ func TestWindowedBuildKeysOrdered(t *testing.T) {
 		if v != i {
 			t.Fatalf("build-time fire order %v, want ascending", order)
 		}
+	}
+}
+
+// TestCancelSideBufferedMaintainsSideMin pins the side-buffer minimum
+// against cancellation: Windowed.Run's start scan trusts sideMin, so a
+// Cancel that removed the earliest (or only) side entry but left the
+// old finite value in place would make the domain look perpetually
+// pending at a stale instant.
+func TestCancelSideBufferedMaintainsSideMin(t *testing.T) {
+	e := NewEngine()
+	NewWindowed(10, []*Engine{e}, 1)
+	p := e.par
+	nop := func(*Engine) {}
+	var a, b, c Event
+	e.Schedule(1, func(eng *Engine) {
+		a = eng.After(100, nop) // when 101
+		b = eng.After(200, nop) // when 201
+		c = eng.After(300, nop) // when 301
+	})
+	e.runWindow(10)
+	if len(p.side) != 3 || p.sideMin != 101 {
+		t.Fatalf("after window: %d side events, sideMin %d; want 3 and 101", len(p.side), p.sideMin)
+	}
+	e.Cancel(b) // not the minimum: value untouched
+	if p.sideMin != 101 {
+		t.Fatalf("sideMin %d after cancelling a non-min entry, want 101", p.sideMin)
+	}
+	e.Cancel(a) // the minimum: recomputed over the survivors
+	if p.sideMin != 301 {
+		t.Fatalf("sideMin %d after cancelling the min entry, want 301", p.sideMin)
+	}
+	e.Cancel(c) // last entry: back to Never
+	if p.sideMin != Never {
+		t.Fatalf("sideMin %d after emptying the side buffer, want Never", p.sideMin)
+	}
+}
+
+// TestWindowedCancelledTimeoutTerminates drives the memctrl wake
+// pattern through a windowed run: every event schedules a far-future
+// timeout (side-buffered, past the window deadline) and cancels the
+// previous one, and the final event cancels the last timeout leaving
+// the side buffer empty. The run must then drain and return — with a
+// stale sideMin it would spin on an eternally-pending domain, so the
+// test fails by watchdog timeout rather than hanging the suite.
+func TestWindowedCancelledTimeoutTerminates(t *testing.T) {
+	e := NewEngine()
+	win := NewWindowed(10, []*Engine{e}, 1)
+	var timeout Event
+	n := 0
+	var step func(*Engine)
+	step = func(eng *Engine) {
+		eng.Cancel(timeout)
+		n++
+		if n >= 50 {
+			return
+		}
+		timeout = eng.After(1000, func(*Engine) {
+			t.Error("cancelled timeout fired")
+		})
+		eng.After(2, step)
+	}
+	e.Schedule(1, step)
+	done := make(chan error, 1)
+	go func() { done <- win.Run(nil) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("windowed run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("windowed run hung after the last side-buffered event was cancelled (stale sideMin)")
+	}
+	if n != 50 {
+		t.Fatalf("chain fired %d events, want 50", n)
 	}
 }
 

@@ -278,6 +278,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PendingAll is Pending plus, in parallel mode, the domain's
+// side-buffered events (fresh keys past the window deadline) — the full
+// count of scheduled-but-unfired work. Diagnostics should prefer it;
+// for a sequential engine it equals Pending.
+func (e *Engine) PendingAll() int {
+	n := len(e.queue)
+	if e.par != nil {
+		n += len(e.par.side)
+	}
+	return n
+}
+
 // NextTime returns the instant of the earliest pending event, or false
 // if the queue is empty.
 func (e *Engine) NextTime() (Time, bool) {
@@ -399,6 +411,18 @@ func (e *Engine) Cancel(ev Event) {
 			if id == ev.id {
 				p.side[i] = p.side[len(p.side)-1]
 				p.side = p.side[:len(p.side)-1]
+				// sideMin feeds the coordinator's start scan; a stale
+				// finite value would make the domain look perpetually
+				// pending and spin Windowed.Run forever, so recompute it
+				// whenever the removed event could have been the minimum.
+				if e.records[ev.id].when == p.sideMin {
+					p.sideMin = Never
+					for _, sid := range p.side {
+						if w := e.records[sid].when; w < p.sideMin {
+							p.sideMin = w
+						}
+					}
+				}
 				break
 			}
 		}

@@ -135,7 +135,10 @@ func (m *machine) diag() Diag {
 				d.NowPS = e.Now()
 			}
 			d.Events += e.Fired()
-			d.QueueDepth += e.Pending()
+			// PendingAll, not Pending: right after a window, fresh events
+			// past the deadline sit in the domain's side buffer rather
+			// than the heap, and they are pending work all the same.
+			d.QueueDepth += e.PendingAll()
 		}
 		d.CoresFinished = 0
 		for _, f := range p.finished {

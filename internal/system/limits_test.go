@@ -74,6 +74,22 @@ func TestContextCancellationStopsRun(t *testing.T) {
 	}
 }
 
+// TestIntraCancellationChecksEveryBarrier pins the parallel watchdog's
+// host-side checks to barrier granularity: with a check interval far
+// larger than the whole run, the fired-event cadence never comes due,
+// yet cancellation (and the wall-clock deadline) must still be able to
+// stop the run — otherwise a barrier loop making no event progress
+// could never be rescued.
+func TestIntraCancellationChecksEveryBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := intraSpecs(t)["single-core"]
+	spec.IntraParallelism = 4
+	spec.Limits = &Limits{Ctx: ctx, CheckEvents: 1 << 40}
+	_, err := Run(spec)
+	limitErr(t, err, LimitCancelled)
+}
+
 func TestLimitsDoNotPerturbResults(t *testing.T) {
 	spec := singleSpec("429.mcf", 1, 1, 8000)
 	base, err := Run(spec)

@@ -402,12 +402,17 @@ func (p *parRun) imbalance() float64 {
 	return float64(max) * float64(len(fired)) / float64(sum)
 }
 
-// parWatchdog enforces run limits at window barriers. Checks run once
-// per CheckEvents fired events (aggregated over domains), so trips are
-// window-granular: a bounded parallel run trips deterministically at
-// the same barrier for any worker count, though not necessarily at the
-// same event as the sequential engine (documented in EXPERIMENTS.md;
-// unbounded runs are byte-identical).
+// parWatchdog enforces run limits at window barriers. The
+// deterministic limits (event budget, clock-frozen livelock) run once
+// per CheckEvents fired events (aggregated over domains), so their
+// trips are window-granular: a bounded parallel run trips
+// deterministically at the same barrier for any worker count, though
+// not necessarily at the same event as the sequential engine
+// (documented in EXPERIMENTS.md; unbounded runs are byte-identical).
+// The host-side limits (context cancellation, wall-clock deadline) are
+// checked unconditionally at every barrier — they must stay able to
+// rescue a run whose barriers stop making event progress — and
+// consecutive zero-progress barriers trip the livelock detector.
 type parWatchdog struct {
 	p         *parRun
 	l         *Limits
@@ -417,6 +422,8 @@ type parWatchdog struct {
 	lastCheck uint64
 	lastNow   sim.Time
 	frozen    int
+	lastFired uint64
+	idle      int
 }
 
 func (p *parRun) armWatchdog(l *Limits) *parWatchdog {
@@ -450,23 +457,46 @@ func (w *parWatchdog) barrier() error {
 		}
 	}
 	m, l := w.p.m, w.l
+	// Host-side limits are checked unconditionally once per barrier: a
+	// barrier iteration that fired no events makes no fired-count
+	// progress, so gating these on the event cadence would leave such a
+	// run unrescuable by cancellation or the wall-clock deadline. Both
+	// are nondeterministic trips anyway, and barrier granularity keeps
+	// the cost negligible.
+	if l.Ctx != nil {
+		if err := l.Ctx.Err(); err != nil {
+			return &LimitError{Kind: LimitCancelled,
+				Msg: "run cancelled: " + err.Error(), Diag: m.diag()}
+		}
+	}
+	if l.WallClock > 0 && time.Now().After(w.deadline) {
+		return &LimitError{Kind: LimitDeadline,
+			Msg:  fmt.Sprintf("wall-clock deadline %s exceeded", l.WallClock),
+			Diag: m.diag()}
+	}
+	// A healthy window always fires at least one event (the due list is
+	// built from domains with work inside the window), so consecutive
+	// zero-progress barriers mean the coordinator is spinning on state
+	// that can never drain — treat that as livelock rather than looping
+	// until some other limit trips.
+	if fired == w.lastFired {
+		if w.idle++; w.idle >= w.windows {
+			return &LimitError{Kind: LimitLivelock,
+				Msg: fmt.Sprintf("livelock: %d consecutive window barriers fired no events",
+					w.idle),
+				Diag: m.diag()}
+		}
+	} else {
+		w.lastFired, w.idle = fired, 0
+	}
+	// Deterministic limits stay on the fired-event cadence so a bounded
+	// run trips at the same barrier for any worker count.
 	for fired-w.lastCheck >= w.check {
 		w.lastCheck += w.check
 		m.wdChecks++
-		if l.Ctx != nil {
-			if err := l.Ctx.Err(); err != nil {
-				return &LimitError{Kind: LimitCancelled,
-					Msg: "run cancelled: " + err.Error(), Diag: m.diag()}
-			}
-		}
 		if l.EventBudget > 0 && fired >= l.EventBudget {
 			return &LimitError{Kind: LimitEventBudget,
 				Msg:  fmt.Sprintf("event budget %d exhausted", l.EventBudget),
-				Diag: m.diag()}
-		}
-		if l.WallClock > 0 && time.Now().After(w.deadline) {
-			return &LimitError{Kind: LimitDeadline,
-				Msg:  fmt.Sprintf("wall-clock deadline %s exceeded", l.WallClock),
 				Diag: m.diag()}
 		}
 		if now != w.lastNow {
