@@ -7,8 +7,8 @@
 GO ?= go
 
 .PHONY: check build vet test race bench bench-smoke bench-json bench-compare \
-	alloc-guard check-protocol fuzz-smoke resilience-smoke update-golden fmt \
-	all-quick
+	alloc-guard check-protocol fuzz-smoke resilience-smoke serve-smoke \
+	update-golden fmt all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
 
@@ -51,6 +51,12 @@ resilience-smoke:
 		-fail-mode degrade -inject panic:1 -report /tmp/resilience-smoke.json
 	@grep -c '"kind": "panic"' /tmp/resilience-smoke.json | grep -qx 1
 	@echo "resilience smoke: 1 injected panic recorded, sweep degraded cleanly"
+
+# Live-observability smoke: a served headline sweep (-j 4, -j-intra 2)
+# must expose well-formed OpenMetrics with the sim_windows and
+# sweep_failures series, /status JSON, an SSE stream, and pprof.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Short randomized-config fuzz of the sanitizer (CI runs this as a
 # smoke; drop -fuzztime for an open-ended session).

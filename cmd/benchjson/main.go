@@ -59,14 +59,15 @@ func main() {
 	rev := flag.String("rev", "", "revision label for the output file (default: git short HEAD)")
 	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
 	diff := flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json")
+	allowMissing := flag.Bool("allow-missing", false, "with -diff: benchmarks dropped from NEW are reported but do not fail the comparison")
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-allow-missing] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1)))
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *allowMissing))
 	}
 
 	r, dirty := *rev, false
@@ -124,9 +125,12 @@ func main() {
 // runDiff loads two BENCH_<rev>.json snapshots and prints one table row
 // per benchmark present in the new file: ns/op of both sides, the
 // relative delta, and the old/new speedup factor (>1 means the new
-// revision is faster). Benchmarks present on only one side are listed
-// so a renamed or added benchmark never disappears silently.
-func runDiff(oldPath, newPath string) int {
+// revision is faster). Benchmarks present on only one side are marked
+// MISSING in the table and summarized by name afterwards, and a
+// benchmark that the old snapshot has but the new one dropped fails the
+// comparison (exit 1) unless -allow-missing — a snapshot comparison
+// must not be able to hide a benchmark that stopped running.
+func runDiff(oldPath, newPath string, allowMissing bool) int {
 	oldF, err := loadSnapshot(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -144,11 +148,13 @@ func runDiff(oldPath, newPath string) int {
 	fmt.Printf("benchjson diff: %s -> %s\n", oldF.Rev, newF.Rev)
 	fmt.Printf("%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
 	seen := make(map[string]bool, len(newF.Benchmarks))
+	var added, dropped []string
 	for _, nr := range newF.Benchmarks {
 		seen[nr.Name] = true
 		or, ok := oldBy[nr.Name]
 		if !ok {
-			fmt.Printf("%-36s %14s %14.0f %9s %9s\n", nr.Name, "-", nr.NsPerOp, "-", "-")
+			added = append(added, nr.Name)
+			fmt.Printf("%-36s %14s %14.0f %9s %9s\n", nr.Name, "MISSING", nr.NsPerOp, "-", "-")
 			continue
 		}
 		delta := "-"
@@ -161,7 +167,20 @@ func runDiff(oldPath, newPath string) int {
 	}
 	for _, or := range oldF.Benchmarks {
 		if !seen[or.Name] {
-			fmt.Printf("%-36s %14.0f %14s %9s %9s\n", or.Name, or.NsPerOp, "-", "-", "-")
+			dropped = append(dropped, or.Name)
+			fmt.Printf("%-36s %14.0f %14s %9s %9s\n", or.Name, or.NsPerOp, "MISSING", "-", "-")
+		}
+	}
+	if len(added) > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) only in %s (new): %s\n",
+			len(added), newF.Rev, strings.Join(added, ", "))
+	}
+	if len(dropped) > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) missing from %s (present in %s): %s\n",
+			len(dropped), newF.Rev, oldF.Rev, strings.Join(dropped, ", "))
+		if !allowMissing {
+			fmt.Fprintln(os.Stderr, "benchjson: missing benchmarks fail the diff (use -allow-missing to tolerate)")
+			return 1
 		}
 	}
 	return 0

@@ -12,18 +12,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
 	"strings"
-	"sync"
 	"time"
 
 	"microbank/internal/check"
 	"microbank/internal/config"
 	"microbank/internal/experiments"
 	"microbank/internal/obs"
+	"microbank/internal/obs/serve"
 	"microbank/internal/parallel"
 	"microbank/internal/sim"
 	"microbank/internal/stats"
@@ -49,6 +50,9 @@ func main() {
 		ibit   = flag.Int("ib", 13, "interleave base bit (6 = cache line, 13 = row)")
 		svgOut = flag.String("svg", "", "also write grid experiments (fig6a/fig6b/fig8/fig9) as SVG heatmaps with this filename prefix")
 
+		serveAddr   = flag.String("serve", "", "serve live observability on this address (e.g. :8080): /metrics OpenMetrics, /events SSE, /status JSON, /debug/pprof/")
+		serveLinger = flag.Duration("serve-linger", 0, "keep the -serve endpoints up this long after the run finishes, so final state can be scraped")
+
 		checkFlag  = flag.String("check", "off", "timing-protocol sanitizer for -exp run: off | collect | fatal")
 		traceOut   = flag.String("trace", "", "write DRAM commands of -exp run as Chrome trace-event JSON (open in Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write epoch time-series metrics of -exp run to this file (.json, or CSV otherwise)")
@@ -73,6 +77,22 @@ func main() {
 		o.Progress = heartbeat()
 	}
 	svgPrefix = *svgOut
+
+	var (
+		agg *obs.Aggregator
+		srv *serve.Server
+	)
+	if *serveAddr != "" {
+		agg = obs.NewAggregator(*exp)
+		s, err := serve.New(*serveAddr, agg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microbank:", err)
+			os.Exit(1)
+		}
+		srv = s
+		o.Agg = agg
+		fmt.Fprintf(os.Stderr, "microbank: serving observability on http://%s (/metrics /events /status /debug/pprof/)\n", srv.Addr())
+	}
 
 	res, closeJournal, err := buildResilience(*exp, o, *failMode, *retries,
 		*timeout, *eventBudget, *journalPath, *resume, *injectSpec)
@@ -116,10 +136,24 @@ func main() {
 				res.Journal.Hits(), res.Journal.Cells())
 		}
 	}
-	if err == nil && report != nil {
-		err = report.WriteFile(*reportOut)
-		if err == nil {
+	if report != nil {
+		// A failed run still flushes its report as valid JSON, marked
+		// aborted, so post-mortems and live consumers can load partial
+		// results. Collect-mode cell failures are not an abort: that run
+		// completed (degraded) and its report carries Failures instead.
+		if err != nil {
+			report.Aborted = err.Error()
+		}
+		if werr := report.WriteFile(*reportOut); werr != nil {
+			if err == nil {
+				err = werr
+			}
+		} else if err == nil {
 			fmt.Println("wrote", *reportOut)
+		} else {
+			// stdout carries only deterministic output; abort notices go
+			// to stderr.
+			fmt.Fprintf(os.Stderr, "microbank: wrote %s (aborted)\n", *reportOut)
 		}
 	}
 	if err == nil {
@@ -127,6 +161,17 @@ func main() {
 	}
 	if cerr := closeJournal(); cerr != nil && err == nil {
 		err = cerr
+	}
+	if agg != nil {
+		agg.Finish(err)
+	}
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "microbank: -serve lingering %s on http://%s\n",
+				*serveLinger, srv.Addr())
+			time.Sleep(*serveLinger)
+		}
+		srv.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "microbank:", err)
@@ -191,21 +236,14 @@ func summarizeFailures(res *experiments.Resilience) {
 	}
 }
 
-// heartbeat returns a Progress callback that prints a throttled
-// completion count to stderr (stdout stays reserved for tables).
+// heartbeat returns a Progress callback that prints a rate-limited
+// completion count to stderr (stdout stays reserved for tables). The
+// ~10 Hz cap keeps large fast sweeps from emitting thousands of lines;
+// each sweep's final 100% line always prints.
 func heartbeat() func(done, total int) {
-	var mu sync.Mutex
-	var last time.Time
-	return func(done, total int) {
-		mu.Lock()
-		defer mu.Unlock()
-		now := time.Now()
-		if done != total && now.Sub(last) < time.Second {
-			return
-		}
-		last = now
+	return experiments.ThrottleProgress(100*time.Millisecond, func(done, total int) {
 		fmt.Fprintf(os.Stderr, "microbank: %d/%d runs\n", done, total)
-	}
+	})
 }
 
 // obsFlags carries the -exp run observability options.
@@ -401,22 +439,40 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	spec.Limits = o.Res.RunLimits()
 	spec.IntraParallelism = o.IntraParallelism
 
+	agg := o.Agg
 	var (
 		observer *obs.Observer
 		sampler  *obs.Sampler
 		tracer   *obs.ChromeTracer
+		winTrace bool
 		checker  *check.Checker
 	)
-	if of.trace != "" || of.metrics != "" || of.check != "off" {
+	// A sampler or DRAM-command tracer attaches to the simulation loop
+	// and forces the windowed engine's sequential fallback, so the
+	// -serve live epoch stream only enables sampling when the run is
+	// sequential anyway (-j-intra <= 1, or -metrics-out / -check already
+	// forced the fallback).
+	sequentialObs := of.metrics != "" || of.check != "off" || spec.IntraParallelism <= 1
+	if of.trace != "" || of.metrics != "" || of.check != "off" || agg != nil {
 		observer = obs.NewObserver()
-		if of.metrics != "" {
+		if of.metrics != "" || (agg != nil && sequentialObs) {
 			if of.epochCycles == 0 {
 				return fmt.Errorf("-epoch must be positive")
 			}
 			sampler = observer.EnableSampling(sim.Time(of.epochCycles) * sys.CoreClock().Period())
 		}
 		if of.trace != "" {
-			tracer = observer.EnableChromeTrace()
+			if sequentialObs {
+				tracer = observer.EnableChromeTrace()
+			} else {
+				// Parallel run: a DRAM-command tracer would force the
+				// sequential fallback, so the same artifact records the
+				// windowed engine instead — per-window spans per domain
+				// plus barrier spans. -j-intra 1 restores command traces.
+				tracer = obs.NewChromeTracer()
+				spec.WinTrace = tracer
+				winTrace = true
+			}
 		}
 		switch of.check {
 		case "off":
@@ -435,9 +491,35 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		}
 	}
 
+	aggSweep := -1
+	if agg != nil {
+		aggSweep = agg.BeginSweep(1)
+		agg.CellStarted(aggSweep, 0)
+		if sampler != nil {
+			sweep := aggSweep
+			sampler.OnSample = func(at sim.Time, names []string, row []float64) {
+				agg.PublishEpoch(sweep, 0, uint64(at), names, row)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "microbank: -serve: live epoch stream off"+
+				" (-j-intra > 1 keeps the run parallel); watchdog diagnostics"+
+				" and final metrics still served")
+		}
+		// OnDiag alone arms only the watchdog's reporting cadence — it
+		// cannot trip a limit, so serving a run never fails it.
+		if spec.Limits == nil {
+			spec.Limits = &system.Limits{}
+		}
+		spec.Limits.OnDiag = func(d system.Diag) { agg.SetDiag(d) }
+	}
+
 	res, err := runGuarded(spec)
 	if err != nil {
+		flushAborted(err, agg, aggSweep, tracer, sampler, of, report)
 		return err
+	}
+	if agg != nil {
+		agg.CellDone(aggSweep, 0, observer.Registry.Gather())
 	}
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d,%d), %s page, iB=%d",
 		wl, ifaceName, nw, nb, policyName, ibit), "Metric", "Value")
@@ -465,40 +547,21 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	}
 
 	if tracer != nil {
-		f, cerr := os.Create(of.trace)
-		if cerr != nil {
-			return cerr
-		}
-		n, werr := tracer.WriteTo(f)
-		if err := f.Close(); werr == nil {
-			werr = err
-		}
+		n, werr := writeTrace(tracer, of.trace, report)
 		if werr != nil {
-			return fmt.Errorf("writing %s: %w", of.trace, werr)
+			return werr
 		}
-		fmt.Printf("wrote %s (%d DRAM commands, %d bytes)\n", of.trace, tracer.Len(), n)
-		if report != nil {
-			report.Artifact("trace", of.trace)
+		what := "DRAM commands"
+		if winTrace {
+			what = "window spans"
 		}
+		fmt.Printf("wrote %s (%d %s, %d bytes)\n", of.trace, tracer.Len(), what, n)
 	}
-	if sampler != nil {
-		var data []byte
-		if strings.HasSuffix(of.metrics, ".json") {
-			b, merr := sampler.JSON()
-			if merr != nil {
-				return merr
-			}
-			data = b
-		} else {
-			data = []byte(sampler.CSV())
-		}
-		if werr := os.WriteFile(of.metrics, data, 0o644); werr != nil {
+	if sampler != nil && of.metrics != "" {
+		if werr := writeMetricsFile(sampler, of.metrics, report); werr != nil {
 			return werr
 		}
 		fmt.Printf("wrote %s (%d epochs, %d series)\n", of.metrics, sampler.Epochs(), len(sampler.Names()))
-		if report != nil {
-			report.Artifact("metrics", of.metrics)
-		}
 	}
 	// Checker results go to the console only, never into the report:
 	// reports must stay byte-identical with and without observability.
@@ -512,4 +575,95 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		fmt.Printf("protocol check: %d DRAM commands, 0 violations\n", checker.Commands())
 	}
 	return nil
+}
+
+// writeTrace writes the Chrome trace artifact and records it in the
+// report, returning the byte count for the caller's status line.
+func writeTrace(tracer *obs.ChromeTracer, path string, report *experiments.Report) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := tracer.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return n, fmt.Errorf("writing %s: %w", path, werr)
+	}
+	if report != nil {
+		report.Artifact("trace", path)
+	}
+	return n, nil
+}
+
+// writeMetricsFile writes the sampler's epoch time series (.json, or
+// CSV otherwise) and records it in the report.
+func writeMetricsFile(sampler *obs.Sampler, path string, report *experiments.Report) error {
+	var data []byte
+	if strings.HasSuffix(path, ".json") {
+		b, err := sampler.JSON()
+		if err != nil {
+			return err
+		}
+		data = b
+	} else {
+		data = []byte(sampler.CSV())
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if report != nil {
+		report.Artifact("metrics", path)
+	}
+	return nil
+}
+
+// flushAborted finalizes the partial artifacts of a run killed by a
+// panic, tripped limit, or fatal protocol violation: the Chrome trace
+// and epoch metrics collected so far are still written — the trace as
+// valid JSON carrying an "aborted" marker — and the failure is recorded
+// with the campaign aggregator. Notices go to stderr; stdout stays
+// reserved for the output of completed runs.
+func flushAborted(err error, agg *obs.Aggregator, aggSweep int, tracer *obs.ChromeTracer,
+	sampler *obs.Sampler, of obsFlags, report *experiments.Report) {
+	if tracer != nil {
+		tracer.Aborted = err.Error()
+		if _, werr := writeTrace(tracer, of.trace, report); werr != nil {
+			fmt.Fprintln(os.Stderr, "microbank:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "microbank: wrote %s (aborted, %d events)\n",
+				of.trace, tracer.Len())
+		}
+	}
+	if sampler != nil && of.metrics != "" {
+		if werr := writeMetricsFile(sampler, of.metrics, report); werr != nil {
+			fmt.Fprintln(os.Stderr, "microbank:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "microbank: wrote %s (aborted, %d epochs)\n",
+				of.metrics, sampler.Epochs())
+		}
+	}
+	if agg != nil {
+		f := obs.CellFailure{Sweep: aggSweep, Cell: 0, Kind: failKind(err),
+			Error: err.Error(), Attempts: 1}
+		var le *system.LimitError
+		if errors.As(err, &le) {
+			f.Diag = le.Diag
+		}
+		agg.CellFailed(f)
+	}
+}
+
+// failKind classifies an ad-hoc run failure with the sweep taxonomy.
+func failKind(err error) string {
+	var le *system.LimitError
+	if errors.As(err, &le) {
+		return le.Kind
+	}
+	var fv *check.FatalViolation
+	if errors.As(err, &fv) {
+		return experiments.FailKindProtocol
+	}
+	return experiments.FailKindError
 }

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"microbank/internal/config"
+	"microbank/internal/obs"
 	"microbank/internal/parallel"
 	"microbank/internal/stats"
 	"microbank/internal/system"
@@ -59,6 +60,14 @@ type Options struct {
 	// journaled resume. Nil selects the original fail-fast path with
 	// zero overhead.
 	Res *Resilience
+	// Agg, when non-nil, feeds the live observability plane (-serve):
+	// every sweep cell runs with its own registry-only observer whose
+	// snapshot merges into the aggregator at the cell boundary, and
+	// progress/failure/retry events stream to it as they happen.
+	// Observation is read-only and per-cell registries stay
+	// registry-only (no sampler/tracer), so results — and intra-parallel
+	// eligibility — are untouched. Nil costs nothing.
+	Agg *obs.Aggregator
 }
 
 func (o Options) withDefaults() Options {
@@ -89,25 +98,36 @@ var Axis = []int{1, 2, 4, 8, 16}
 // by Figs. 10, 12, and 13.
 var RepresentativeConfigs = [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}}
 
+// runEnv is the per-cell execution environment mapRuns hands its run
+// callback: the cell's limits (resilient sweeps) and, when a campaign
+// aggregator is attached, the cell's registry-only observer. The zero
+// value reproduces the pre-observability behavior exactly.
+type runEnv struct {
+	lim *system.Limits
+	obs *obs.Observer
+}
+
 // runSingle executes a single-core, single-channel run (the paper's
-// setup for single-threaded SPEC and DB workloads). lim, when non-nil,
-// bounds the run (watchdog deadline / event budget / cancellation).
+// setup for single-threaded SPEC and DB workloads). env carries the
+// cell's limits (watchdog deadline / event budget / cancellation) and
+// optional observer.
 func runSingle(name string, iface config.Interface, nW, nB int,
-	mut func(*config.System), o Options, lim *system.Limits) (system.Result, error) {
+	mut func(*config.System), o Options, env runEnv) (system.Result, error) {
 	sys := config.SingleCore(config.MemPreset(iface, nW, nB))
 	if mut != nil {
 		mut(&sys)
 	}
 	spec := system.UniformSpec(sys, workload.MustGet(name), o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
-	spec.Limits = lim
+	spec.Limits = env.lim
+	spec.Obs = env.obs
 	spec.IntraParallelism = o.IntraParallelism
 	return system.Run(spec)
 }
 
 // runMulti executes a multicore run with the full channel population.
 func runMulti(profileFor func(core int) workload.Profile, iface config.Interface,
-	nW, nB int, mut func(*config.System), o Options, lim *system.Limits) (system.Result, error) {
+	nW, nB int, mut func(*config.System), o Options, env runEnv) (system.Result, error) {
 	sys := config.DefaultSystem(config.MemPreset(iface, nW, nB))
 	sys.Cores = o.Cores
 	if mut != nil {
@@ -125,7 +145,7 @@ func runMulti(profileFor func(core int) workload.Profile, iface config.Interface
 		instr = 4000
 	}
 	spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
-		WarmupInstr: instr / 2, Seed: o.Seed, Limits: lim,
+		WarmupInstr: instr / 2, Seed: o.Seed, Limits: env.lim, Obs: env.obs,
 		IntraParallelism: o.IntraParallelism}
 	return system.Run(spec)
 }
@@ -239,7 +259,7 @@ type cellMetrics struct {
 // lookup/record, fault injection), failures are logged as report
 // records, and under collect/degrade the sweep completes with failed
 // cells marked true in the mask (their Result is the zero value).
-func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (system.Result, error)) ([]system.Result, []bool, error) {
+func mapRuns[J any](o Options, jobs []J, run func(env runEnv, j J) (system.Result, error)) ([]system.Result, []bool, error) {
 	total := len(jobs)
 	var done atomic.Int64
 	note := func() {
@@ -247,10 +267,36 @@ func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (syst
 			o.Progress(int(done.Add(1)), total)
 		}
 	}
+	agg := o.Agg
+	aggSweep := -1
+	if agg != nil {
+		aggSweep = agg.BeginSweep(total)
+	}
+	// cellRun wraps run with the aggregator's cell lifecycle: a fresh
+	// registry-only observer per cell (observation is read-only and
+	// keeps intra-parallel eligibility), with the boundary snapshot
+	// merged on success. With no aggregator the env is zero and this is
+	// the old call verbatim.
+	cellRun := func(lim *system.Limits, i int, j J) (system.Result, error) {
+		env := runEnv{lim: lim}
+		if agg != nil {
+			env.obs = obs.NewObserver()
+			agg.CellStarted(aggSweep, i)
+		}
+		res, err := run(env, j)
+		if agg != nil && err == nil {
+			agg.CellDone(aggSweep, i, env.obs.Registry.Gather())
+		}
+		return res, err
+	}
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
 	if o.Res == nil {
-		res, err := parallel.Map(context.Background(), o.Parallelism, jobs,
-			func(_ context.Context, j J) (system.Result, error) {
-				r, err := run(nil, j)
+		res, err := parallel.Map(context.Background(), o.Parallelism, idx,
+			func(_ context.Context, i int) (system.Result, error) {
+				r, err := cellRun(nil, i, jobs[i])
 				if err == nil {
 					note()
 				}
@@ -261,10 +307,6 @@ func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (syst
 
 	r := o.Res
 	base, sweep := r.beginSweep(total)
-	idx := make([]int, total)
-	for i := range idx {
-		idx[i] = i
-	}
 	// Collect is degrade at sweep level: every sweep completes with its
 	// failures logged, and the campaign-level verdict (Resilience.Err)
 	// turns the log into a nonzero exit.
@@ -280,13 +322,21 @@ func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (syst
 		Digest: func(i int) string {
 			return fmt.Sprintf("sweep %d cell %d/%d: %+v", sweep, i, total, jobs[i])
 		},
-		OnRetry: func(int, int, error) { r.Log.NoteRetry() },
+		OnRetry: func(int, int, error) {
+			r.Log.NoteRetry()
+			if agg != nil {
+				agg.NoteRetry()
+			}
+		},
 	}
 	results, fails, err := parallel.MapPolicy(context.Background(), o.Parallelism, idx, pol,
 		func(_ context.Context, i int) (system.Result, error) {
 			// Journal lookup precedes injection: a resumed cell is not
 			// re-run, so it cannot re-fire an injected fault.
 			if res, ok := r.journalLookup(sweep, i); ok {
+				if agg != nil {
+					agg.CellReplayed(aggSweep, i)
+				}
 				note()
 				return res, nil
 			}
@@ -301,7 +351,7 @@ func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (syst
 					return system.Result{}, errInjectedTransient
 				}
 			}
-			res, rerr := run(o.limitsFor(g), jobs[i])
+			res, rerr := cellRun(o.limitsFor(g), i, jobs[i])
 			if rerr != nil {
 				return system.Result{}, rerr
 			}
@@ -314,7 +364,13 @@ func mapRuns[J any](o Options, jobs []J, run func(lim *system.Limits, j J) (syst
 			return res, nil
 		})
 	for _, te := range fails {
-		r.Log.add(failureRecord(sweep, te))
+		f := failureRecord(sweep, te)
+		r.Log.add(f)
+		if agg != nil {
+			agg.CellFailed(obs.CellFailure{Sweep: aggSweep, Cell: f.Cell,
+				Kind: f.Kind, Error: f.Error, Digest: f.Digest,
+				Attempts: f.Attempts, Diag: f.Diag})
+		}
 	}
 	if err != nil {
 		return nil, nil, err
@@ -340,8 +396,8 @@ func runGridCells(name string, o Options) (map[[2]int]cellMetrics, map[[2]int]bo
 			jobs = append(jobs, [2]int{nW, nB})
 		}
 	}
-	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, cfg [2]int) (system.Result, error) {
-		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o, lim)
+	results, failed, err := mapRuns(o, jobs, func(env runEnv, cfg [2]int) (system.Result, error) {
+		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o, env)
 		if rerr != nil {
 			return system.Result{}, fmt.Errorf("%s (%d,%d): %w", name, cfg[0], cfg[1], rerr)
 		}

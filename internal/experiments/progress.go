@@ -1,0 +1,41 @@
+package experiments
+
+// Progress-callback rate limiting for the -progress stderr heartbeat:
+// large fast sweeps can complete hundreds of cells per second, and an
+// unthrottled heartbeat emits one line per cell. ThrottleProgress caps
+// the cadence by wall time while guaranteeing the terminal 100% lines
+// still appear.
+
+import (
+	"sync"
+	"time"
+)
+
+// ThrottleProgress wraps a Progress callback with a time-based rate
+// limit: at most one delivery per min interval, except that a terminal
+// update (done == total) is always delivered — every sweep's final
+// 100% line survives throttling. Safe for concurrent use from worker
+// goroutines, like the callback it wraps.
+func ThrottleProgress(min time.Duration, fn func(done, total int)) func(done, total int) {
+	return throttleProgress(min, fn, time.Now)
+}
+
+// throttleProgress is the testable core with an injectable clock.
+func throttleProgress(min time.Duration, fn func(done, total int), now func() time.Time) func(done, total int) {
+	if min <= 0 {
+		return fn
+	}
+	var mu sync.Mutex
+	var last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		t := now()
+		if done != total && !last.IsZero() && t.Sub(last) < min {
+			mu.Unlock()
+			return
+		}
+		last = t
+		mu.Unlock()
+		fn(done, total)
+	}
+}

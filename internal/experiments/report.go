@@ -42,6 +42,13 @@ type Report struct {
 	// diagnostic) to debug without rerunning. Absent on healthy runs, so
 	// their reports are byte-identical to pre-resilience output.
 	Failures []ReportFailure `json:"failures,omitempty"`
+
+	// Aborted carries the terminal error of a run that was killed
+	// mid-flight (panic, tripped limit, protocol violation): the report
+	// is still flushed as valid JSON so partial artifacts load, and this
+	// marker tells consumers it is not a completed run. Absent — and the
+	// report byte-identical to before the field existed — on success.
+	Aborted string `json:"aborted,omitempty"`
 }
 
 // ReportFailure is one failed sweep cell. Kind is one of panic,

@@ -190,7 +190,7 @@ func TestProtocolViolationIsolated(t *testing.T) {
 	res := &Resilience{Mode: parallel.FailDegrade}
 	o := resOpts(res)
 	jobs := []int{0, 1, 2, 3}
-	results, failed, err := mapRuns(o, jobs, func(_ *system.Limits, j int) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(_ runEnv, j int) (system.Result, error) {
 		if j == 2 {
 			panic(&check.FatalViolation{V: check.Violation{
 				Rule: check.RuleTRCD, Cmd: obs.CmdRD, At: 100, Earliest: 200}})

@@ -70,11 +70,11 @@ type fig10Job struct {
 	cfg  [2]int
 }
 
-func (j fig10Job) run(o Options, lim *system.Limits) (system.Result, error) {
+func (j fig10Job) run(o Options, env runEnv) (system.Result, error) {
 	if j.name == "" {
-		return runMulti(multiProfile(j.set), config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, lim)
+		return runMulti(multiProfile(j.set), config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, env)
 	}
-	return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, lim)
+	return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], nil, o, env)
 }
 
 // Fig10 evaluates the representative μbank configurations on the
@@ -101,7 +101,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		}
 	}
 	results, failed, err := mapRuns(o, jobs,
-		func(lim *system.Limits, j fig10Job) (system.Result, error) { return j.run(o, lim) })
+		func(env runEnv, j fig10Job) (system.Result, error) { return j.run(o, env) })
 	if err != nil {
 		return nil, err
 	}
@@ -268,18 +268,18 @@ func Fig12(o Options, sets ...string) ([]Fig12Row, error) {
 			}
 		}
 	}
-	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig12Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(env runEnv, j fig12Job) (system.Result, error) {
 		if j.base {
 			return runSingle(j.name, config.LPDDRTSI, 1, 1, func(s *config.System) {
 				s.Ctrl.PagePolicy = config.OpenPage
 				s.Ctrl.InterleaveBit = 13
-			}, o, lim)
+			}, o, env)
 		}
 		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1],
 			func(s *config.System) {
 				s.Ctrl.PagePolicy = j.pol
 				s.Ctrl.InterleaveBit = j.iB
-			}, o, lim)
+			}, o, env)
 	})
 	if err != nil {
 		return nil, err
@@ -402,12 +402,12 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			}
 		}
 	}
-	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig13Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(env runEnv, j fig13Job) (system.Result, error) {
 		mut := func(s *config.System) { s.Ctrl.PagePolicy = j.pol }
 		if j.name == "" {
-			return runMulti(multiProfile(j.w), config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, lim)
+			return runMulti(multiProfile(j.w), config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, env)
 		}
-		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, lim)
+		return runSingle(j.name, config.LPDDRTSI, j.cfg[0], j.cfg[1], mut, o, env)
 	})
 	if err != nil {
 		return nil, err
@@ -509,11 +509,11 @@ func Fig14(o Options) ([]Fig14Row, error) {
 			}
 		}
 	}
-	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j fig14Job) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(env runEnv, j fig14Job) (system.Result, error) {
 		if j.name == "" {
-			return runMulti(multiProfile(j.w), j.iface, 1, 1, nil, o, lim)
+			return runMulti(multiProfile(j.w), j.iface, 1, 1, nil, o, env)
 		}
-		return runSingle(j.name, j.iface, 1, 1, nil, o, lim)
+		return runSingle(j.name, j.iface, 1, 1, nil, o, env)
 	})
 	if err != nil {
 		return nil, err
@@ -610,11 +610,11 @@ func Headline(o Options) (HeadlineResult, error) {
 	for _, name := range names {
 		jobs = append(jobs, headlineJob{name: name}, headlineJob{name: name, ubank: true})
 	}
-	results, failed, err := mapRuns(o, jobs, func(lim *system.Limits, j headlineJob) (system.Result, error) {
+	results, failed, err := mapRuns(o, jobs, func(env runEnv, j headlineJob) (system.Result, error) {
 		if j.ubank {
-			return runSingle(j.name, config.LPDDRTSI, 2, 8, nil, o, lim)
+			return runSingle(j.name, config.LPDDRTSI, 2, 8, nil, o, env)
 		}
-		return runSingle(j.name, config.DDR3PCB, 1, 1, nil, o, lim)
+		return runSingle(j.name, config.DDR3PCB, 1, 1, nil, o, env)
 	})
 	var out HeadlineResult
 	if err != nil {

@@ -1,0 +1,131 @@
+package obs
+
+// OpenMetrics rendering of gathered samples. Registry series names use
+// the internal "name{k=v,...}.suffix" convention; this file translates
+// them into the OpenMetrics/Prometheus text exposition format served at
+// /metrics: dots and other invalid characters become underscores, the
+// histogram suffix folds into the metric family name, and label values
+// are quoted and escaped. Families are grouped (all samples of one
+// family are contiguous, as the format requires) in first-seen order,
+// so output is deterministic for a deterministic sample order.
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// splitSeries decomposes a registry series name into the OpenMetrics
+// family name and its labels. "mem.read_bw{ch=0}.count" becomes family
+// "mem_read_bw_count" with labels [{ch 0}].
+func splitSeries(series string) (family string, labels []Label) {
+	open := strings.IndexByte(series, '{')
+	if open < 0 {
+		return sanitizeName(series), nil
+	}
+	close := strings.LastIndexByte(series, '}')
+	if close < open {
+		return sanitizeName(series), nil
+	}
+	family = sanitizeName(series[:open] + series[close+1:])
+	for _, kv := range strings.Split(series[open+1:close], ",") {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			labels = append(labels, Label{Key: sanitizeName(kv)})
+			continue
+		}
+		labels = append(labels, Label{Key: sanitizeName(kv[:eq]), Value: kv[eq+1:]})
+	}
+	return family, labels
+}
+
+// sanitizeName maps a registry name onto the OpenMetrics name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders samples as OpenMetrics text (one gauge
+// family per metric name, `# TYPE` headers, terminating `# EOF`). All
+// registry series are exposed as gauges: counters are monotone but the
+// exposition snapshots a finished or in-flight aggregate, not a live
+// counter stream, and gauges carry no created-timestamp obligations.
+func WriteOpenMetrics(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	type line struct {
+		labels []Label
+		value  float64
+	}
+	families := map[string][]line{}
+	var order []string
+	for _, s := range samples {
+		fam, labels := splitSeries(s.Name)
+		if _, seen := families[fam]; !seen {
+			order = append(order, fam)
+		}
+		families[fam] = append(families[fam], line{labels, s.Value})
+	}
+	for _, fam := range order {
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam)
+		bw.WriteString(" gauge\n")
+		for _, l := range families[fam] {
+			bw.WriteString(fam)
+			if len(l.labels) > 0 {
+				bw.WriteByte('{')
+				for i, lb := range l.labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(lb.Key)
+					bw.WriteString(`="`)
+					bw.WriteString(escapeLabelValue(lb.Value))
+					bw.WriteString(`"`)
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(l.value, 'g', -1, 64))
+			bw.WriteByte('\n')
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}

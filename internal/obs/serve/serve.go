@@ -1,0 +1,118 @@
+// Package serve exposes a running campaign's observability plane over
+// HTTP: the merged metric registry in OpenMetrics text at /metrics,
+// live epoch samples and sweep progress as server-sent events at
+// /events, the campaign report-so-far as JSON at /status, and the
+// standard net/http/pprof profiling mux at /debug/pprof/. Everything is
+// read-side only, fed by an obs.Aggregator; the server never touches
+// simulation state, so serving a run cannot perturb its results.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"microbank/internal/obs"
+)
+
+// Server is one live observability endpoint.
+type Server struct {
+	agg *obs.Aggregator
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New binds addr (e.g. "127.0.0.1:8080" or ":0") and starts serving
+// the aggregator in a background goroutine. Binding happens before New
+// returns, so the caller knows the endpoint is reachable (and can read
+// the resolved port from Addr when addr used port 0).
+func New(addr string, agg *obs.Aggregator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{agg: agg, ln: ln}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is the normal exit
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately (in-flight SSE streams are cut).
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the read-only observability mux (also used directly
+// by tests via httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/status", s.status)
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	obs.WriteOpenMetrics(w, s.agg.Gather()) //nolint:errcheck // client went away
+}
+
+func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
+	body, err := s.agg.StatusJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck // client went away
+	w.Write([]byte("\n"))
+}
+
+// events streams aggregator events as server-sent events. Each event
+// is `event: <type>` + `data: <json>`; the stream opens with a
+// "status" event carrying the current campaign snapshot so a consumer
+// needs no separate /status fetch to initialize.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := s.agg.Subscribe(256)
+	defer cancel()
+	if snap, err := s.agg.StatusJSON(); err == nil {
+		writeSSE(w, obs.Event{Type: "status", Data: snap})
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event in text/event-stream framing. Payloads
+// are JSON (no raw newlines), so a single data: line suffices.
+func writeSSE(w http.ResponseWriter, ev obs.Event) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+	return err
+}

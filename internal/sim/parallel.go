@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Parallel-mode key layout (64 bits):
@@ -242,6 +243,14 @@ type Windowed struct {
 	// Counters for observability.
 	Windows       uint64 // synchronization windows executed
 	MultiInstants uint64 // instants with fires in more than one domain
+
+	// MeasureBarrier, when set before Run, timestamps the coordinator's
+	// wait for the slowest worker at each barrier (LastBarrierWaitNS).
+	// Off by default: the measurement is two clock reads per window of
+	// host time, which observed-run tracing wants and bit-exactness
+	// benchmarks do not.
+	MeasureBarrier bool
+	barrierWaitNS  uint64
 }
 
 // NewWindowed attaches parallel contexts to the given engines and
@@ -279,6 +288,16 @@ func (w *Windowed) Window() Time { return w.window }
 
 // Workers returns the number of threads advancing domains.
 func (w *Windowed) Workers() int { return w.workers }
+
+// WindowBounds returns the just-finished window's sim-time span,
+// valid at the barrier (inside Run's hook).
+func (w *Windowed) WindowBounds() (start, end Time) {
+	return w.deadline - w.window + 1, w.deadline
+}
+
+// LastBarrierWaitNS returns the host nanoseconds the coordinator spent
+// waiting on the latest barrier (zero unless MeasureBarrier is set).
+func (w *Windowed) LastBarrierWaitNS() uint64 { return w.barrierWaitNS }
 
 // rankOf resolves a window-local log index to its global rank through
 // the segment table: the covering run is the last one starting at or
@@ -440,8 +459,16 @@ func (w *Windowed) Run(hook func() error) error {
 		w.done.Store(0)
 		w.round.Add(1)
 		w.runClaimed()
-		for w.done.Load() < int32(extra) {
-			runtime.Gosched()
+		if w.MeasureBarrier {
+			t0 := time.Now()
+			for w.done.Load() < int32(extra) {
+				runtime.Gosched()
+			}
+			w.barrierWaitNS = uint64(time.Since(t0))
+		} else {
+			for w.done.Load() < int32(extra) {
+				runtime.Gosched()
+			}
 		}
 		w.Windows++
 		w.assignRanks()

@@ -56,10 +56,25 @@ type Limits struct {
 	// StallWindows is the livelock threshold in consecutive watchdog
 	// windows with a frozen sim clock (default defaultStallWindows).
 	StallWindows int
+	// OnDiag, when non-nil, receives a fresh machine diagnostic snapshot
+	// at every watchdog check (the live-observability feed behind
+	// /status). It runs on the simulation goroutine and must not block
+	// or mutate anything. OnDiag alone arms only the reporting cadence:
+	// it never trips a limit, so a run bounded by nothing else cannot
+	// fail because it is being watched.
+	OnDiag func(Diag)
 }
 
-// armed reports whether any check is active.
+// armed reports whether the watchdog hook must run (any enforced check,
+// or diagnostic reporting).
 func (l *Limits) armed() bool {
+	return l.enforced() || (l != nil && l.OnDiag != nil)
+}
+
+// enforced reports whether any limit can actually trip. The livelock
+// detector counts as enforcement support: it is active exactly when
+// some limit is, so an OnDiag-only watchdog adds no failure modes.
+func (l *Limits) enforced() bool {
 	return l != nil && (l.Ctx != nil || l.WallClock > 0 || l.EventBudget > 0 || l.StallWindows > 0)
 }
 
@@ -172,10 +187,14 @@ func (m *machine) armWatchdog(l *Limits) {
 	if l.WallClock > 0 {
 		deadline = time.Now().Add(l.WallClock)
 	}
+	enforce := l.enforced()
 	var lastNow sim.Time
 	frozen := 0
 	m.eng.SetControl(check, func(e *sim.Engine) error {
 		m.wdChecks++
+		if l.OnDiag != nil {
+			l.OnDiag(m.diag())
+		}
 		if l.Ctx != nil {
 			if err := l.Ctx.Err(); err != nil {
 				return &LimitError{Kind: LimitCancelled,
@@ -194,6 +213,9 @@ func (m *machine) armWatchdog(l *Limits) {
 				Msg:  fmt.Sprintf("wall-clock deadline %s exceeded", l.WallClock),
 				Diag: m.diag()}
 		}
+		if !enforce {
+			return nil
+		}
 		if now := e.Now(); now != lastNow {
 			lastNow, frozen = now, 0
 		} else if frozen++; frozen >= windows {
@@ -204,9 +226,10 @@ func (m *machine) armWatchdog(l *Limits) {
 		}
 		return nil
 	})
-	if m.spec.Obs != nil {
-		// Registered only when armed, so unbounded runs' metric streams
-		// are byte-identical to builds without the watchdog.
+	if m.spec.Obs != nil && enforce {
+		// Registered only when a limit is enforced, so unbounded runs'
+		// metric streams are byte-identical to builds without the
+		// watchdog — including runs watched through OnDiag alone.
 		m.spec.Obs.Registry.GaugeFunc("sys.watchdog_checks", func() float64 {
 			return float64(m.wdChecks)
 		})

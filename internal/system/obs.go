@@ -132,5 +132,9 @@ func (m *machine) wireObs(o *obs.Observer) {
 		reg.GaugeFunc("sim.window_ns", func() float64 { return float64(p.win.Window()) / 1000 })
 		reg.GaugeFunc("sim.crossdomain_msgs", func() float64 { return float64(p.crossMsgs) })
 		reg.GaugeFunc("sim.domain_imbalance", func() float64 { return p.imbalance() })
+		// Per-window skew: max/mean fired events over each window's
+		// active domains, scaled by 1000 (1000 = perfectly balanced).
+		// Observed serially at barriers by observeWindow.
+		p.winImb = reg.Histogram("sim.window_imbalance")
 	}
 }

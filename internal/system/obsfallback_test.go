@@ -1,0 +1,182 @@
+package system
+
+// The observability/parallelism interaction contract. An epoch sampler
+// or DRAM command tracer must observe events in global simulated-time
+// order, which the windowed engine's per-domain execution cannot give
+// it, so attaching either forces the sequential fallback — silently and
+// deterministically. The tests here pin that contract: the fallback
+// triggers exactly when Obs carries a Sampler or Tracer, an observed
+// run's gauges byte-match the same observed run at -j-intra 1 (they are
+// the same sequential execution), results stay bit-identical to the
+// parallel run, and the two observation paths that deliberately do NOT
+// force the fallback — Spec.WinTrace and Limits.OnDiag — leave both
+// eligibility and the metric stream untouched.
+
+import (
+	"reflect"
+	"testing"
+
+	"microbank/internal/obs"
+	"microbank/internal/sim"
+)
+
+// gatherNames flattens a registry snapshot into name->value for
+// presence checks.
+func gatherNames(snap []obs.Sample) map[string]float64 {
+	m := make(map[string]float64, len(snap))
+	for _, s := range snap {
+		m[s.Name] = s.Value
+	}
+	return m
+}
+
+func TestSamplerForcesSequentialFallback(t *testing.T) {
+	spec := intraSpecs(t)["single-core"]
+	spec.IntraParallelism = 4
+
+	spec.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+	if !spec.intraEligible() {
+		t.Fatal("registry-only observation must keep intra eligibility")
+	}
+	spec.Obs.EnableSampling(50_000_000)
+	if spec.intraEligible() {
+		t.Fatal("sampler must force the sequential fallback")
+	}
+	spec.Obs = obs.NewObserver()
+	spec.Obs.EnableChromeTrace()
+	if spec.intraEligible() {
+		t.Fatal("command tracer must force the sequential fallback")
+	}
+}
+
+// TestSampledGaugesMatchParallel runs the same sampled spec at
+// -j-intra 4 (which falls back) and -j-intra 1 (sequential by
+// request): every gauge, every epoch row, and the Result must be
+// byte-identical, and the fallback run's registry must not contain the
+// windowed engine's sim.* gauges — proof the parallel engine never ran.
+// The Result must also equal a genuinely parallel run of the same spec
+// with registry-only observation (observation never perturbs results).
+func TestSampledGaugesMatchParallel(t *testing.T) {
+	base := intraSpecs(t)["single-core"]
+	const epoch = sim.Time(50_000_000)
+
+	sampled := func(intra int) ([]obs.Sample, string, Result) {
+		spec := base
+		spec.IntraParallelism = intra
+		spec.Obs = obs.NewObserver()
+		s := spec.Obs.EnableSampling(epoch)
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("sampled run (intra=%d): %v", intra, err)
+		}
+		return spec.Obs.Registry.Gather(), s.CSV(), res
+	}
+
+	snapFB, csvFB, resFB := sampled(4) // requests parallel, falls back
+	snapSeq, csvSeq, resSeq := sampled(1)
+
+	if !reflect.DeepEqual(snapFB, snapSeq) {
+		t.Errorf("fallback gauges diverged from sequential:\n got: %v\nwant: %v", snapFB, snapSeq)
+	}
+	if csvFB != csvSeq {
+		t.Errorf("fallback epoch samples diverged from sequential")
+	}
+	if !reflect.DeepEqual(resFB, resSeq) {
+		t.Errorf("fallback result diverged from sequential:\n got: %+v\nwant: %+v", resFB, resSeq)
+	}
+	if _, ok := gatherNames(snapFB)["sim.windows"]; ok {
+		t.Error("sampled run registered sim.windows: the windowed engine ran despite the sampler")
+	}
+
+	par := base
+	par.IntraParallelism = 4
+	par.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+	resPar, err := Run(par)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if _, ok := gatherNames(par.Obs.Registry.Gather())["sim.windows"]; !ok {
+		t.Fatal("registry-only parallel run did not use the windowed engine")
+	}
+	if !reflect.DeepEqual(resFB, resPar) {
+		t.Errorf("sampled result diverged from parallel result:\n got: %+v\nwant: %+v", resFB, resPar)
+	}
+}
+
+// TestWinTraceKeepsParallel: Spec.WinTrace records window/barrier spans
+// without touching eligibility or results — it is the parallel-safe
+// counterpart to the DRAM command tracer.
+func TestWinTraceKeepsParallel(t *testing.T) {
+	spec := intraSpecs(t)["single-core"]
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+
+	spec.IntraParallelism = 4
+	spec.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+	spec.WinTrace = obs.NewChromeTracer()
+	if !spec.intraEligible() {
+		t.Fatal("WinTrace must not affect intra eligibility")
+	}
+	got, err := Run(spec)
+	if err != nil {
+		t.Fatalf("win-traced run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("win-traced result diverged\n got: %+v\nwant: %+v", got, want)
+	}
+	if spec.WinTrace.Len() == 0 {
+		t.Error("WinTrace recorded no spans on a parallel run")
+	}
+	names := gatherNames(spec.Obs.Registry.Gather())
+	if names["sim.windows"] <= 0 {
+		t.Error("sim.windows missing: windowed engine did not run")
+	}
+	if _, ok := names["sim.window_imbalance.count"]; !ok {
+		t.Error("sim.window_imbalance histogram not registered on parallel run")
+	}
+}
+
+// TestOnDiagOnlyLeavesMetricsAlone: arming only Limits.OnDiag (the
+// -serve diagnostic feed) must not register the watchdog's own gauge or
+// change any gathered value — the metric stream with -serve on is
+// byte-identical to without.
+func TestOnDiagOnlyLeavesMetricsAlone(t *testing.T) {
+	for _, intra := range []int{1, 4} {
+		base := intraSpecs(t)["single-core"]
+		base.IntraParallelism = intra
+
+		plain := base
+		plain.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+		resPlain, err := Run(plain)
+		if err != nil {
+			t.Fatalf("plain run (intra=%d): %v", intra, err)
+		}
+		snapPlain := plain.Obs.Registry.Gather()
+
+		diags := 0
+		watched := base
+		watched.Obs = &obs.Observer{Registry: obs.NewRegistry()}
+		// The short test run fires fewer events than the default check
+		// cadence, so tighten it; CheckEvents alone never trips a limit.
+		watched.Limits = &Limits{CheckEvents: 1024, OnDiag: func(Diag) { diags++ }}
+		resWatched, err := Run(watched)
+		if err != nil {
+			t.Fatalf("watched run (intra=%d): %v", intra, err)
+		}
+		if diags == 0 {
+			t.Errorf("intra=%d: OnDiag never invoked", intra)
+		}
+		if !reflect.DeepEqual(resWatched, resPlain) {
+			t.Errorf("intra=%d: OnDiag-only run diverged\n got: %+v\nwant: %+v", intra, resWatched, resPlain)
+		}
+		snapWatched := watched.Obs.Registry.Gather()
+		if !reflect.DeepEqual(snapWatched, snapPlain) {
+			t.Errorf("intra=%d: OnDiag-only metric stream diverged\n got: %v\nwant: %v", intra, snapWatched, snapPlain)
+		}
+		if _, ok := gatherNames(snapWatched)["sys.watchdog_checks"]; ok {
+			t.Errorf("intra=%d: OnDiag-only run registered sys.watchdog_checks", intra)
+		}
+	}
+}

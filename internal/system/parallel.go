@@ -37,8 +37,10 @@ import (
 
 	"microbank/internal/cache"
 	"microbank/internal/memctrl"
+	"microbank/internal/obs"
 	"microbank/internal/parallel"
 	"microbank/internal/sim"
+	"microbank/internal/stats"
 )
 
 // intraEligible reports whether the spec can run on the windowed
@@ -141,6 +143,16 @@ type parRun struct {
 	pendSnap    *rawCounters
 
 	crossMsgs uint64
+
+	// Per-window observability (nil/zero unless the run carries an
+	// observer or a window trace): observeWindow runs serially at each
+	// barrier, diffing per-domain fired counts against prevFired to
+	// attribute work to the just-finished window.
+	trace     *obs.ChromeTracer
+	winImb    *stats.Histogram
+	prevFired []uint64
+	prevMsgs  uint64
+	winIdx    uint64
 }
 
 func (p *parRun) clDom(cl int) int { return cl }
@@ -402,6 +414,45 @@ func (p *parRun) imbalance() float64 {
 	return float64(max) * float64(len(fired)) / float64(sum)
 }
 
+// observeWindow attributes the just-finished window's work to spans
+// and the imbalance histogram. It runs serially at the barrier on
+// coordinator state only (fired counters, cross-message count, window
+// bounds), so emitting it cannot perturb simulation results.
+func (p *parRun) observeWindow() {
+	if p.prevFired == nil {
+		p.prevFired = make([]uint64, len(p.engs))
+	}
+	start, end := p.win.WindowBounds()
+	var sum, maxd uint64
+	active := 0
+	for d, e := range p.engs {
+		delta := e.Fired() - p.prevFired[d]
+		p.prevFired[d] = e.Fired()
+		if delta == 0 {
+			continue
+		}
+		active++
+		sum += delta
+		if delta > maxd {
+			maxd = delta
+		}
+		if p.trace != nil {
+			p.trace.WindowSpan(int32(d), start, end, p.winIdx, delta)
+		}
+	}
+	if active > 0 && p.winImb != nil {
+		// max/mean fired events over the window's active domains,
+		// scaled by 1000 (integer-valued histogram): 1000 = balanced.
+		p.winImb.Observe(maxd * 1000 * uint64(active) / sum)
+	}
+	if p.trace != nil {
+		p.trace.BarrierSpan(start, end, p.winIdx, p.crossMsgs-p.prevMsgs,
+			p.win.LastBarrierWaitNS())
+		p.prevMsgs = p.crossMsgs
+	}
+	p.winIdx++
+}
+
 // parWatchdog enforces run limits at window barriers. The
 // deterministic limits (event budget, clock-frozen livelock) run once
 // per CheckEvents fired events (aggregated over domains), so their
@@ -418,6 +469,7 @@ type parWatchdog struct {
 	l         *Limits
 	check     uint64
 	windows   int
+	enforce   bool
 	deadline  time.Time
 	lastCheck uint64
 	lastNow   sim.Time
@@ -427,7 +479,8 @@ type parWatchdog struct {
 }
 
 func (p *parRun) armWatchdog(l *Limits) *parWatchdog {
-	w := &parWatchdog{p: p, l: l, check: l.CheckEvents, windows: l.StallWindows}
+	w := &parWatchdog{p: p, l: l, check: l.CheckEvents, windows: l.StallWindows,
+		enforce: l.enforced()}
 	if w.check == 0 {
 		w.check = defaultCheckEvents
 	}
@@ -437,7 +490,10 @@ func (p *parRun) armWatchdog(l *Limits) *parWatchdog {
 	if l.WallClock > 0 {
 		w.deadline = time.Now().Add(l.WallClock)
 	}
-	if p.m.spec.Obs != nil {
+	if p.m.spec.Obs != nil && w.enforce {
+		// Mirrors the sequential watchdog: the gauge exists only when a
+		// limit can trip, so OnDiag-only observation leaves the metric
+		// stream untouched.
 		m := p.m
 		p.m.spec.Obs.Registry.GaugeFunc("sys.watchdog_checks", func() float64 {
 			return float64(m.wdChecks)
@@ -478,8 +534,9 @@ func (w *parWatchdog) barrier() error {
 	// built from domains with work inside the window), so consecutive
 	// zero-progress barriers mean the coordinator is spinning on state
 	// that can never drain — treat that as livelock rather than looping
-	// until some other limit trips.
-	if fired == w.lastFired {
+	// until some other limit trips. Only when some limit is enforced:
+	// an OnDiag-only watchdog must never add a failure mode.
+	if fired == w.lastFired && w.enforce {
 		if w.idle++; w.idle >= w.windows {
 			return &LimitError{Kind: LimitLivelock,
 				Msg: fmt.Sprintf("livelock: %d consecutive window barriers fired no events",
@@ -494,6 +551,12 @@ func (w *parWatchdog) barrier() error {
 	for fired-w.lastCheck >= w.check {
 		w.lastCheck += w.check
 		m.wdChecks++
+		if l.OnDiag != nil {
+			l.OnDiag(m.diag())
+		}
+		if !w.enforce {
+			continue
+		}
 		if l.EventBudget > 0 && fired >= l.EventBudget {
 			return &LimitError{Kind: LimitEventBudget,
 				Msg:  fmt.Sprintf("event budget %d exhausted", l.EventBudget),
@@ -550,10 +613,15 @@ func runIntra(spec Spec) (Result, error) {
 	if spec.Obs != nil {
 		m.wireObs(spec.Obs)
 	}
+	if spec.WinTrace != nil {
+		p.trace = spec.WinTrace
+		win.MeasureBarrier = true
+	}
 	var wd *parWatchdog
 	if spec.Limits.armed() {
 		wd = p.armWatchdog(spec.Limits)
 	}
+	obsWin := p.trace != nil || p.winImb != nil
 	for _, c := range m.cores {
 		c.Start()
 	}
@@ -561,6 +629,9 @@ func runIntra(spec Spec) (Result, error) {
 		p.resolveWarm()
 		p.replaySends()
 		p.splice()
+		if obsWin {
+			p.observeWindow()
+		}
 		if wd != nil {
 			return wd.barrier()
 		}

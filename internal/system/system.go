@@ -51,6 +51,13 @@ type Spec struct {
 	// command. Observation is read-only — results are bit-identical with
 	// or without it.
 	Obs *obs.Observer
+	// WinTrace, when non-nil, receives per-window and per-barrier spans
+	// from the windowed parallel engine (window index, events fired per
+	// domain, cross-domain messages, barrier wait). Unlike Obs.Tracer it
+	// does not affect intra-parallel eligibility: spans are emitted
+	// serially by the coordinator at barriers, never from model events,
+	// so results stay bit-identical. Sequential runs ignore it.
+	WinTrace *obs.ChromeTracer
 	// Limits, when non-nil and armed, bounds the run (wall-clock
 	// deadline, event budget, context cancellation, livelock watchdog);
 	// a tripped limit returns a *LimitError. Nil runs unbounded with an
