@@ -7,8 +7,8 @@
 GO ?= go
 
 .PHONY: check build vet test race bench bench-smoke bench-json bench-compare \
-	alloc-guard check-protocol fuzz-smoke resilience-smoke serve-smoke \
-	update-golden fmt all-quick
+	alloc-guard check-protocol check-policies fuzz-smoke resilience-smoke \
+	serve-smoke update-golden fmt all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
 
@@ -42,6 +42,16 @@ bench-smoke:
 # also written to internal/check/protocol-violations.log.
 check-protocol:
 	$(GO) test -run 'TestProtocol' -count=1 ./internal/check/
+
+# QoS policy gate: the scheduler × SALP × bandwidth-regulator matrix
+# under the sanitizer (QOS_MATRIX_FULL=1 widens it to every shipped
+# configuration — CI's qos-matrix job does), the map-reference
+# scheduler cross-check across the same variants, and the analytic
+# worst-case bound property tests, both under the race detector.
+check-policies:
+	$(GO) test -run 'TestPolicyMatrix' -count=1 ./internal/check/
+	$(GO) test -race -run 'TestSchedulerMatchesMapReference' -count=1 ./internal/memctrl/
+	$(GO) test -race -count=1 ./internal/qos/
 
 # Resilience smoke: a sweep with an injected panicking cell must
 # complete under -fail-mode=degrade with exactly one recorded panic

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -60,14 +61,22 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
 	diff := flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json")
 	allowMissing := flag.Bool("allow-missing", false, "with -diff: benchmarks dropped from NEW are reported but do not fail the comparison")
+	maxRegress := flag.Float64("max-regress", 0, "with -diff: fail if a gated benchmark regresses by more than this percent (0 = report only)")
+	gateMetric := flag.String("gate-metric", "ns", "with -diff -max-regress: metric to gate on: ns | allocs")
+	gateMatch := flag.String("gate-match", "", "with -diff -max-regress: regexp of benchmark names to gate (empty = all)")
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-allow-missing] OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-allow-missing] [-max-regress PCT [-gate-metric ns|allocs] [-gate-match RE]] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *allowMissing))
+		gate, err := buildGate(*maxRegress, *gateMetric, *gateMatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *allowMissing, gate))
 	}
 
 	r, dirty := *rev, false
@@ -122,6 +131,59 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
 }
 
+// gate is the -max-regress policy: which benchmarks to hold to which
+// metric, and how much relative growth fails the diff. A nil *gate
+// means report-only.
+type gate struct {
+	maxPct float64
+	metric string // "ns" | "allocs"
+	match  *regexp.Regexp
+}
+
+// buildGate validates the gating flags. maxPct 0 disables the gate.
+func buildGate(maxPct float64, metric, match string) (*gate, error) {
+	if maxPct <= 0 {
+		return nil, nil
+	}
+	if metric != "ns" && metric != "allocs" {
+		return nil, fmt.Errorf("unknown -gate-metric %q (ns | allocs)", metric)
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return nil, fmt.Errorf("-gate-match: %w", err)
+	}
+	return &gate{maxPct: maxPct, metric: metric, match: re}, nil
+}
+
+// value extracts the gated metric from one result.
+func (g *gate) value(r Result) float64 {
+	if g.metric == "allocs" {
+		return r.AllocsOp
+	}
+	return r.NsPerOp
+}
+
+// check returns a failure description when the old→new transition
+// regresses past the threshold, or "" when it passes. A metric that
+// was zero and became nonzero is an unconditional regression (allocs
+// appearing on a zero-alloc path has no finite percentage).
+func (g *gate) check(or, nr Result) string {
+	if !g.match.MatchString(nr.Name) {
+		return ""
+	}
+	ov, nv := g.value(or), g.value(nr)
+	switch {
+	case ov == 0 && nv > 0:
+		return fmt.Sprintf("%s: %s/op grew from 0 to %g", nr.Name, g.metric, nv)
+	case ov > 0:
+		if pct := 100 * (nv - ov) / ov; pct > g.maxPct {
+			return fmt.Sprintf("%s: %s/op regressed %+.1f%% (%g -> %g, limit %+.1f%%)",
+				nr.Name, g.metric, pct, ov, nv, g.maxPct)
+		}
+	}
+	return ""
+}
+
 // runDiff loads two BENCH_<rev>.json snapshots and prints one table row
 // per benchmark present in the new file: ns/op of both sides, the
 // relative delta, and the old/new speedup factor (>1 means the new
@@ -129,8 +191,10 @@ func main() {
 // MISSING in the table and summarized by name afterwards, and a
 // benchmark that the old snapshot has but the new one dropped fails the
 // comparison (exit 1) unless -allow-missing — a snapshot comparison
-// must not be able to hide a benchmark that stopped running.
-func runDiff(oldPath, newPath string, allowMissing bool) int {
+// must not be able to hide a benchmark that stopped running. A non-nil
+// gate additionally fails the diff when a matched benchmark's gated
+// metric regresses past the threshold.
+func runDiff(oldPath, newPath string, allowMissing bool, g *gate) int {
 	oldF, err := loadSnapshot(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -148,7 +212,7 @@ func runDiff(oldPath, newPath string, allowMissing bool) int {
 	fmt.Printf("benchjson diff: %s -> %s\n", oldF.Rev, newF.Rev)
 	fmt.Printf("%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
 	seen := make(map[string]bool, len(newF.Benchmarks))
-	var added, dropped []string
+	var added, dropped, regressed []string
 	for _, nr := range newF.Benchmarks {
 		seen[nr.Name] = true
 		or, ok := oldBy[nr.Name]
@@ -156,6 +220,11 @@ func runDiff(oldPath, newPath string, allowMissing bool) int {
 			added = append(added, nr.Name)
 			fmt.Printf("%-36s %14s %14.0f %9s %9s\n", nr.Name, "MISSING", nr.NsPerOp, "-", "-")
 			continue
+		}
+		if g != nil {
+			if msg := g.check(or, nr); msg != "" {
+				regressed = append(regressed, msg)
+			}
 		}
 		delta := "-"
 		speedup := "-"
@@ -182,6 +251,12 @@ func runDiff(oldPath, newPath string, allowMissing bool) int {
 			fmt.Fprintln(os.Stderr, "benchjson: missing benchmarks fail the diff (use -allow-missing to tolerate)")
 			return 1
 		}
+	}
+	if len(regressed) > 0 {
+		for _, msg := range regressed {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION "+msg)
+		}
+		return 1
 	}
 	return 0
 }

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "list", "experiment id: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline ablations related all run list")
+		exp    = flag.String("exp", "list", "experiment id: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline ablations qos related all run list")
 		instr  = flag.Uint64("instr", 0, "per-core instruction budget (0 = default)")
 		cores  = flag.Int("cores", 0, "cores for multicore workloads (0 = default)")
 		quick  = flag.Bool("quick", false, "reduced workload sets and budgets")
@@ -48,6 +48,9 @@ func main() {
 		iface  = flag.String("interface", "LPDDR-TSI", "DDR3-PCB | DDR3-TSI | LPDDR-TSI")
 		policy = flag.String("policy", "open", "page policy: open close minimalist local global tournament perfect")
 		ibit   = flag.Int("ib", 13, "interleave base bit (6 = cache line, 13 = row)")
+		sched  = flag.String("sched", "parbs", "memory scheduler for -exp run: frfcfs parbs fcfs")
+		salp   = flag.Int("salp", 0, "SALP subarrays per bank for -exp run (0 = off, power of two)")
+		budget = flag.Int("bank-budget", 0, "per-(thread,bank) column-access budget per regulator epoch for -exp run (0 = regulator off)")
 		svgOut = flag.String("svg", "", "also write grid experiments (fig6a/fig6b/fig8/fig9) as SVG heatmaps with this filename prefix")
 
 		serveAddr   = flag.String("serve", "", "serve live observability on this address (e.g. :8080): /metrics OpenMetrics, /events SSE, /status JSON, /debug/pprof/")
@@ -123,9 +126,11 @@ func main() {
 		report = experiments.NewReport(*exp, o)
 	}
 	oflags := obsFlags{trace: *traceOut, metrics: *metricsOut, epochCycles: *epochCyc, check: *checkFlag}
+	rflags := runFlags{wl: *wl, nw: *nw, nb: *nb, iface: *iface, policy: *policy,
+		ibit: *ibit, sched: *sched, salp: *salp, budget: *budget}
 
 	start := time.Now()
-	err = dispatch(*exp, o, report, oflags, *beta, *wl, *nw, *nb, *iface, *policy, *ibit)
+	err = dispatch(*exp, o, report, oflags, *beta, rflags)
 	if res != nil {
 		if report != nil {
 			report.AddFailures(res.Log)
@@ -254,6 +259,18 @@ type obsFlags struct {
 	check       string
 }
 
+// runFlags carries the -exp run configuration options.
+type runFlags struct {
+	wl     string
+	nw, nb int
+	iface  string
+	policy string
+	ibit   int
+	sched  string // frfcfs | parbs | fcfs
+	salp   int    // SALP subarrays per bank (0 = off)
+	budget int    // regulator per-(thread,bank) budget (0 = off)
+}
+
 // svgPrefix, when set, makes grid experiments also emit SVG heatmaps.
 var svgPrefix string
 
@@ -287,10 +304,10 @@ func emitGrid(report *experiments.Report, g *experiments.GridData, name, title s
 }
 
 func dispatch(exp string, o experiments.Options, report *experiments.Report, of obsFlags,
-	beta float64, wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+	beta float64, rf runFlags) error {
 	switch exp {
 	case "list":
-		fmt.Println("experiments: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline all run")
+		fmt.Println("experiments: fig1 table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 headline ablations qos related all run")
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
 		fmt.Println("workload sets: spec-high spec-all mix-high mix-blend")
 		return nil
@@ -361,6 +378,12 @@ func dispatch(exp string, o experiments.Options, report *experiments.Report, of 
 			return err
 		}
 		emit(report, tb)
+	case "qos":
+		rows, err := experiments.QoSSweep(o)
+		if err != nil {
+			return err
+		}
+		emit(report, experiments.QoSTable(rows))
 	case "related":
 		rows, err := experiments.RelatedWork(o)
 		if err != nil {
@@ -368,13 +391,13 @@ func dispatch(exp string, o experiments.Options, report *experiments.Report, of 
 		}
 		emit(report, experiments.RelatedWorkTable(rows))
 	case "all":
-		for _, id := range []string{"table1", "table2", "fig1", "fig6a", "fig6b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "headline", "ablations", "related"} {
-			if err := dispatch(id, o, report, of, beta, wl, nw, nb, ifaceName, policyName, ibit); err != nil {
+		for _, id := range []string{"table1", "table2", "fig1", "fig6a", "fig6b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "headline", "ablations", "qos", "related"} {
+			if err := dispatch(id, o, report, of, beta, rf); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 		}
 	case "run":
-		return runCustom(o, report, of, wl, nw, nb, ifaceName, policyName, ibit)
+		return runCustom(o, report, of, rf)
 	default:
 		return fmt.Errorf("unknown experiment %q (try -exp list)", exp)
 	}
@@ -402,10 +425,9 @@ func runGuarded(spec system.Spec) (res system.Result, err error) {
 // runCustom executes one ad-hoc configuration and prints a summary,
 // attaching the observability layer when -trace / -metrics-out ask
 // for it.
-func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
-	wl string, nw, nb int, ifaceName, policyName string, ibit int) error {
+func runCustom(o experiments.Options, report *experiments.Report, of obsFlags, rf runFlags) error {
 	var iface config.Interface
-	switch ifaceName {
+	switch rf.iface {
 	case "DDR3-PCB":
 		iface = config.DDR3PCB
 	case "DDR3-TSI":
@@ -413,27 +435,40 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	case "LPDDR-TSI":
 		iface = config.LPDDRTSI
 	default:
-		return fmt.Errorf("unknown interface %q", ifaceName)
+		return fmt.Errorf("unknown interface %q", rf.iface)
 	}
 	policies := map[string]config.PagePolicy{
 		"open": config.OpenPage, "close": config.ClosePage, "minimalist": config.MinimalistOpen,
 		"local": config.PredLocal, "global": config.PredGlobal,
 		"tournament": config.PredTournament, "perfect": config.PredPerfect,
 	}
-	pol, ok := policies[policyName]
+	pol, ok := policies[rf.policy]
 	if !ok {
-		return fmt.Errorf("unknown policy %q", policyName)
+		return fmt.Errorf("unknown policy %q", rf.policy)
 	}
-	prof, err := workload.Get(wl)
+	scheds := map[string]config.Scheduler{
+		"frfcfs": config.SchedFRFCFS, "parbs": config.SchedPARBS, "fcfs": config.SchedFCFS,
+	}
+	schedVal, ok := scheds[rf.sched]
+	if !ok {
+		return fmt.Errorf("unknown scheduler %q (frfcfs | parbs | fcfs)", rf.sched)
+	}
+	prof, err := workload.Get(rf.wl)
 	if err != nil {
 		return err
 	}
 	if o.Instr == 0 {
 		o.Instr = 240000
 	}
-	sys := config.SingleCore(config.MemPreset(iface, nw, nb))
+	sys := config.SingleCore(config.MemPreset(iface, rf.nw, rf.nb))
 	sys.Ctrl.PagePolicy = pol
-	sys.Ctrl.InterleaveBit = ibit
+	sys.Ctrl.InterleaveBit = rf.ibit
+	sys.Ctrl.Scheduler = schedVal
+	sys.Ctrl.BankBudget = rf.budget
+	sys.Mem.Org.SubarraysPerBank = rf.salp
+	if err := sys.Validate(); err != nil {
+		return err
+	}
 	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
 	spec.Limits = o.Res.RunLimits()
@@ -522,7 +557,7 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 		agg.CellDone(aggSweep, 0, observer.Registry.Gather())
 	}
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d,%d), %s page, iB=%d",
-		wl, ifaceName, nw, nb, policyName, ibit), "Metric", "Value")
+		rf.wl, rf.iface, rf.nw, rf.nb, rf.policy, rf.ibit), "Metric", "Value")
 	t.AddRow("IPC", res.IPC)
 	t.AddRow("MAPKI", res.MAPKI)
 	t.AddRow("Row-buffer hit rate", res.RowHitRate)
@@ -535,6 +570,12 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags,
 	t.AddRow("RD/WR power (W)", res.Breakdown.RdWrW())
 	t.AddRow("I/O power (W)", res.Breakdown.IOW())
 	t.AddRow("EDP (J·s)", fmt.Sprintf("%.3e", res.Breakdown.EDPJs()))
+	// QoS rows only when a QoS knob is active, so default output is
+	// unchanged.
+	if rf.salp > 0 || rf.budget > 0 {
+		t.AddRow("p99 latency (ns, whole run)", res.LatP99NS)
+		t.AddRow("Max latency (ns, whole run)", res.LatMaxNS)
+	}
 	emit(report, t)
 
 	if report != nil {

@@ -25,6 +25,9 @@
 //     flagged; early refreshes would silently under-bill energy)
 //   - state: no column command to a closed bank or to a row other than
 //     the open one, no ACT to an open bank, no PRE to a closed bank
+//   - subarray: with SALP enabled (Org.SubarraysPerBank > 1) the shadow
+//     state expands to one slot per (bank, subarray) pseudo-bank, and an
+//     ACT must address the pseudo-bank its row maps to (row%S)
 //
 // Bus-occupancy constraints (tCCD, tWTR, tRTRS, data-bus slots) are
 // deliberately out of scope: they are not bank-state hazards and the
@@ -86,6 +89,7 @@ const (
 	RuleOpenACT
 	RuleClosedPRE
 	RuleBadBank
+	RuleSubarray
 )
 
 // String returns the rule's short name.
@@ -117,6 +121,8 @@ func (r Rule) String() string {
 		return "pre-to-closed-bank"
 	case RuleBadBank:
 		return "bad-bank-index"
+	case RuleSubarray:
+		return "row-subarray-mismatch"
 	default:
 		return fmt.Sprintf("Rule(%d)", int(r))
 	}
@@ -203,8 +209,9 @@ type Checker struct {
 	mode    CheckMode
 	scale   int
 	trrdEff sim.Time
-	perBank int // μbanks refreshed per per-bank REF (nW*nB)
-	rankDiv int // banks per rank (BanksPerRank*nW*nB)
+	subs    int // SALP subarrays per (μ)bank (1 = off)
+	perBank int // pseudo-banks refreshed per per-bank REF (nW*nB*subs)
+	rankDiv int // pseudo-banks per rank (BanksPerRank*nW*nB*subs)
 
 	chans      map[int]*chanState
 	violations []Violation
@@ -223,13 +230,15 @@ func New(cfg config.Mem, mode CheckMode) *Checker {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("check: invalid config: %v", err))
 	}
+	subs := cfg.Org.Subarrays()
 	return &Checker{
 		cfg:     cfg,
 		mode:    mode,
 		scale:   cfg.ActWindowScale(),
 		trrdEff: cfg.EffectiveTRRD(),
-		perBank: cfg.Org.NW * cfg.Org.NB,
-		rankDiv: cfg.Org.BanksPerRank * cfg.Org.NW * cfg.Org.NB,
+		subs:    subs,
+		perBank: cfg.Org.NW * cfg.Org.NB * subs,
+		rankDiv: cfg.Org.BanksPerRank * cfg.Org.NW * cfg.Org.NB * subs,
 		chans:   make(map[int]*chanState),
 	}
 }
@@ -271,7 +280,7 @@ func (c *Checker) channel(id int) *chanState {
 	}
 	o := c.cfg.Org
 	cs := &chanState{
-		banks: make([]bankCk, o.RanksPerChan*o.BanksPerRank*o.NW*o.NB),
+		banks: make([]bankCk, o.RanksPerChan*o.BanksPerRank*o.NW*o.NB*c.subs),
 		ranks: make([]rankCk, o.RanksPerChan),
 	}
 	for r := range cs.ranks {
@@ -335,6 +344,10 @@ func (c *Checker) checkACT(cs *chanState, b *bankCk, ch, bank int, row uint32, i
 	tm := c.cfg.Timing
 	if b.open {
 		c.violate(RuleOpenACT, ch, bank, obs.CmdACT, row, issue, issue, b.actAnchor)
+	}
+	if c.subs > 1 && int(row)%c.subs != bank%c.subs {
+		// SALP: a row must activate in the subarray slot it maps to.
+		c.violate(RuleSubarray, ch, bank, obs.CmdACT, row, issue, issue, issue)
 	}
 	if issue < b.actTRP {
 		c.violate(RuleTRP, ch, bank, obs.CmdACT, row, issue, b.actTRP, b.preAnchor)

@@ -75,6 +75,22 @@ func TestCleanSequencePasses(t *testing.T) {
 	}
 }
 
+// TestSeededSubarrayMismatch proves the SALP mapping rule fires: with
+// S subarrays per bank, an ACT whose row does not belong to the
+// pseudo-bank's subarray slot (row % S != bank % S) is flagged, and
+// the correctly mapped row one slot over passes.
+func TestSeededSubarrayMismatch(t *testing.T) {
+	m := pcbMem()
+	m.Org.SubarraysPerBank = 4
+	c := check.New(m, check.ModeCollect)
+	cmd(c, 1, obs.CmdACT, 4, 0) // row 4 belongs to subarray 0, not slot 1
+	wantOnly(t, c, check.RuleSubarray)
+
+	c = check.New(m, check.ModeCollect)
+	cmd(c, 1, obs.CmdACT, 5, 0) // row 5 -> subarray 1 == slot 1
+	wantClean(t, c)
+}
+
 func TestSeededTRCD(t *testing.T) {
 	m := pcbMem()
 	c := check.New(m, check.ModeCollect)

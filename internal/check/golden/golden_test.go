@@ -136,6 +136,69 @@ func TestGoldenIntraParallelWidths(t *testing.T) {
 	}
 }
 
+// TestGoldenQoSPolicies pins run reports for the QoS scenario pack:
+// SALP pseudo-banks, the bandwidth regulator, and their composition on
+// a multiprogrammed 4-core mix, each under the fatal protocol checker
+// (which shadows the row-to-subarray mapping). The reports carry the
+// tail-latency and fairness metrics, so a change to the subarray
+// model, the regulator's admission, or the histogram plumbing shows up
+// here as a reviewed diff. The pre-existing fixtures must NOT move:
+// these scenarios are additive and the S=1/budget=0 paths stay
+// byte-identical.
+func TestGoldenQoSPolicies(t *testing.T) {
+	cases := []struct {
+		name   string
+		sched  config.Scheduler
+		salp   int
+		budget int
+	}{
+		{"frfcfs_salp4", config.SchedFRFCFS, 4, 0},
+		{"parbs_reg", config.SchedPARBS, 0, 2},
+		{"fcfs_salp4_reg", config.SchedFCFS, 4, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+			sys.Cores = 4
+			sys.Mem.Org.SubarraysPerBank = tc.salp
+			sys.Ctrl.Scheduler = tc.sched
+			sys.Ctrl.BankBudget = tc.budget
+			spec := system.MixSpec(sys, workload.MixHigh(), 8000, 42)
+			spec.WarmupInstr = 4000
+			obsv := obs.NewObserver()
+			obsv.AddTracer(check.New(sys.Mem, check.ModeFatal))
+			spec.Obs = obsv
+			res, err := system.Run(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			o := experiments.Options{Quick: true, Seed: 42, Instr: 8000}
+			r := experiments.NewReport("qos", o)
+			tb := stats.NewTable("golden QoS run: "+tc.name, "Metric", "Value")
+			tb.AddRow("IPC", res.IPC)
+			tb.AddRow("p50 latency (ns)", res.LatP50NS)
+			tb.AddRow("p99 latency (ns)", res.LatP99NS)
+			tb.AddRow("Max latency (ns)", res.LatMaxNS)
+			tb.AddRow("Max slowdown", res.MaxSlowdown)
+			tb.AddRow("Fairness index", res.FairnessIndex)
+			r.AddTable(tb)
+			r.SetMetric("ipc", res.IPC)
+			r.SetMetric("lat_p50_ns", res.LatP50NS)
+			r.SetMetric("lat_p99_ns", res.LatP99NS)
+			r.SetMetric("lat_max_ns", res.LatMaxNS)
+			r.SetMetric("max_slowdown", res.MaxSlowdown)
+			r.SetMetric("fairness_index", res.FairnessIndex)
+			b, err := r.JSON()
+			if err != nil {
+				t.Fatalf("report: %v", err)
+			}
+			golden.Check(t, "testdata/qos_"+tc.name+".json", b)
+		})
+	}
+}
+
 // headlineReport runs the headline experiment at the given parallelism
 // and renders its report with the parallelism echo normalized, so the
 // bytes are comparable across -j widths.

@@ -134,6 +134,60 @@ func TestProtocolInterleavings(t *testing.T) {
 	}
 }
 
+// TestPolicyMatrix is the QoS gate behind `make check-policies`: every
+// scheduler × {SALP on/off} × {bandwidth regulator on/off} runs a
+// multiprogrammed mix under the sanitizer, whose shadow state includes
+// the row-to-subarray mapping rule. By default one shipped
+// configuration per interface (plus a REFpb variant) keeps the matrix
+// proportionate to the other protocol gates; QOS_MATRIX_FULL=1 — set
+// by CI's qos-matrix job — widens it to every shipped configuration.
+func TestPolicyMatrix(t *testing.T) {
+	cfgs := experiments.ShippedConfigs()
+	if os.Getenv("QOS_MATRIX_FULL") == "" {
+		var kept []experiments.ShippedConfig
+		for _, sc := range cfgs {
+			if sc.NW == 2 && sc.NB == 8 {
+				kept = append(kept, sc)
+			}
+		}
+		cfgs = kept
+	}
+	scheds := []config.Scheduler{config.SchedFRFCFS, config.SchedPARBS, config.SchedFCFS}
+	variants := []struct {
+		name   string
+		salp   int
+		budget int
+	}{
+		{"base", 0, 0},
+		{"salp4", 4, 0},
+		{"reg", 0, 2},
+		{"salp4-reg", 4, 2},
+	}
+	if testing.Short() {
+		scheds = scheds[:2]
+		variants = variants[2:]
+	}
+	for _, sc := range cfgs {
+		for _, sch := range scheds {
+			for _, va := range variants {
+				sc, sch, va := sc, sch, va
+				name := fmt.Sprintf("%s/%s_%s", sc.Name(), sch, va.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					sys := config.DefaultSystem(sc.Mem())
+					sys.Cores = 4
+					sys.Mem.Org.SubarraysPerBank = va.salp
+					sys.Ctrl.Scheduler = sch
+					sys.Ctrl.BankBudget = va.budget
+					spec := system.MixSpec(sys, workload.MixHigh(), 6000, 42)
+					spec.WarmupInstr = 3000
+					checkedRun(t, "policy-matrix "+name, sys, spec)
+				})
+			}
+		}
+	}
+}
+
 // TestProtocolMulticore drives every channel of the full 16-channel
 // machine through one checker, exercising the per-channel shadow
 // state and multi-rank DDR3-PCB.

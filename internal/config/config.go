@@ -130,6 +130,14 @@ type Org struct {
 	// CapacityGB is total main-memory capacity (used for address-space
 	// sizing and refresh accounting).
 	CapacityGB int
+	// SubarraysPerBank enables a SALP-style subarray model (Kim et al.,
+	// ISCA'12, MASA-lite): each (μ)bank exposes this many independently
+	// schedulable subarrays, each with its own open row, sharing the
+	// bank's I/O. A row maps to subarray row%S. Unlike μbank
+	// partitioning (nW), subarrays keep full-row activation energy and
+	// unscaled tRRD/tFAW — parallelism without the activation-size
+	// savings. 0 or 1 disables the model (byte-identical to no knob).
+	SubarraysPerBank int
 }
 
 // MicrobanksPerBank returns nW*nB.
@@ -139,6 +147,17 @@ func (o Org) MicrobanksPerBank() int { return o.NW * o.NB }
 // whole memory system can hold.
 func (o Org) TotalRowBuffers() int {
 	return o.Channels * o.RanksPerChan * o.BanksPerRank * o.NW * o.NB
+}
+
+// Subarrays returns the effective subarrays per (μ)bank: at least 1.
+// It multiplies the number of schedulable row buffers but not the
+// address-visible bank count (subarray selection is row-derived), so
+// the address mapper is unaffected.
+func (o Org) Subarrays() int {
+	if o.SubarraysPerBank < 1 {
+		return 1
+	}
+	return o.SubarraysPerBank
 }
 
 // MicroRowBytes returns the row-buffer size of one μbank: partitioning
@@ -168,6 +187,9 @@ func (o Org) Validate() error {
 	}
 	if o.ChannelGBs <= 0 {
 		return fmt.Errorf("config: non-positive channel bandwidth")
+	}
+	if o.SubarraysPerBank != 0 && (!isPow2(o.SubarraysPerBank) || o.SubarraysPerBank > 128) {
+		return fmt.Errorf("config: subarrays per bank %d must be a power of two <= 128", o.SubarraysPerBank)
 	}
 	return nil
 }
@@ -424,7 +446,22 @@ type Ctrl struct {
 	// μbank index is XORed with low row bits so power-of-two strides do
 	// not alias onto a single bank.
 	XORBankHash bool
+	// BankBudget enables a MemGuard-style per-bank bandwidth regulator
+	// (Yun et al.): each thread may be granted at most this many column
+	// accesses per (μ)bank per replenishment epoch; further requests
+	// from that thread to that bank are held back by the scheduler's
+	// admission filter until the next epoch. 0 disables the regulator.
+	BankBudget int
+	// RegEpoch is the regulator's replenishment epoch in picoseconds;
+	// 0 with BankBudget > 0 selects DefaultRegEpoch.
+	RegEpoch sim.Time
 }
+
+// DefaultRegEpoch is the regulator's replenishment epoch when
+// Ctrl.BankBudget is set but Ctrl.RegEpoch is left zero: 1 μs, a few
+// bank cycles — long enough to amortize budget bookkeeping, short
+// enough that a throttled thread is never stalled perceptibly.
+const DefaultRegEpoch = 1000 * sim.Nanosecond
 
 // DefaultCtrl returns the paper's controller defaults: 32-entry queue,
 // PAR-BS, open page, row interleaving.
@@ -493,6 +530,12 @@ func (s System) Validate() error {
 	}
 	if s.Ctrl.InterleaveBit < 6 {
 		return fmt.Errorf("config: interleave bit %d below cache-line bits", s.Ctrl.InterleaveBit)
+	}
+	if s.Ctrl.BankBudget < 0 {
+		return fmt.Errorf("config: negative bank budget %d", s.Ctrl.BankBudget)
+	}
+	if s.Ctrl.RegEpoch < 0 {
+		return fmt.Errorf("config: negative regulation epoch %d", s.Ctrl.RegEpoch)
 	}
 	return s.Mem.Validate()
 }

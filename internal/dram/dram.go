@@ -14,6 +14,17 @@
 //     activates per window. This follows the paper's premise that
 //     activation cost is proportional to the number of opened mats.
 //
+// When config.Org.SubarraysPerBank > 1 (SALP / MASA-lite, Kim et al.
+// ISCA'12), every (μ)bank is expanded into that many pseudo-banks, one
+// per subarray: each keeps its own open row and row-state timings, so
+// the scheduler sees S independently schedulable row buffers per bank.
+// A row lives in subarray row%S. Unlike μbank partitioning, subarrays
+// share the bank's sense-amp I/O and power delivery, so activation
+// energy stays at the full (μ)row cost and the tRRD/tFAW activation
+// windows are NOT widened — parallelism without the activation-size
+// savings. The shared column/data-bus serialization already models the
+// "one active I/O per channel at a time" constraint.
+//
 // The memory controller (package memctrl) owns command selection; this
 // package answers "when could command X issue?" and applies its effects.
 package dram
@@ -114,6 +125,10 @@ type Channel struct {
 
 	tRRDEff sim.Time
 
+	// subs is SubarraysPerBank (>=1); rankDiv the pseudo-banks per rank.
+	subs    int
+	rankDiv int
+
 	// refBank rotates over conventional banks for per-bank refresh.
 	refBank int
 
@@ -136,11 +151,14 @@ func NewChannel(cfg config.Mem) *Channel {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("dram: invalid config: %v", err))
 	}
-	nBanks := cfg.Org.RanksPerChan * cfg.Org.BanksPerRank * cfg.Org.NW * cfg.Org.NB
+	subs := cfg.Org.Subarrays()
+	nBanks := cfg.Org.RanksPerChan * cfg.Org.BanksPerRank * cfg.Org.NW * cfg.Org.NB * subs
 	c := &Channel{
-		cfg:   cfg,
-		banks: make([]bankState, nBanks),
-		ranks: make([]rankState, cfg.Org.RanksPerChan),
+		cfg:     cfg,
+		banks:   make([]bankState, nBanks),
+		ranks:   make([]rankState, cfg.Org.RanksPerChan),
+		subs:    subs,
+		rankDiv: cfg.Org.BanksPerRank * cfg.Org.NW * cfg.Org.NB * subs,
 	}
 	// The activation-window scaling (tRRD/tFAW over activated bits, not
 	// commands) is shared with the protocol sanitizer via config.
@@ -160,8 +178,12 @@ func NewChannel(cfg config.Mem) *Channel {
 // Config returns the channel's memory configuration.
 func (c *Channel) Config() config.Mem { return c.cfg }
 
-// NumBanks returns the number of independently schedulable (μ)banks.
+// NumBanks returns the number of independently schedulable row buffers:
+// (μ)banks times subarrays per bank in SALP mode.
 func (c *Channel) NumBanks() int { return len(c.banks) }
+
+// Subarrays returns the subarrays per (μ)bank (1 when SALP is off).
+func (c *Channel) Subarrays() int { return c.subs }
 
 // Energy returns a snapshot of accumulated energy.
 func (c *Channel) Energy() Energy { return c.energy }
@@ -202,7 +224,7 @@ func (c *Channel) Open(bank int) (bool, uint32) {
 }
 
 func (c *Channel) rankOf(bank int) int {
-	return bank / (c.cfg.Org.BanksPerRank * c.cfg.Org.NW * c.cfg.Org.NB)
+	return bank / c.rankDiv
 }
 
 // actPrePJ returns the ACT+PRE pair energy for one μbank activation:
@@ -260,7 +282,7 @@ func (c *Channel) MaybeRefresh(now sim.Time) bool {
 // perBankRefresh refreshes the μbanks of one conventional bank.
 func (c *Channel) perBankRefresh(now sim.Time) bool {
 	nb := c.cfg.Org.BanksPerRank * c.cfg.Org.RanksPerChan
-	micro := c.cfg.Org.NW * c.cfg.Org.NB
+	micro := c.cfg.Org.NW * c.cfg.Org.NB * c.subs
 	lo := c.refBank * micro
 	hi := lo + micro
 	for i := lo; i < hi; i++ {
@@ -318,6 +340,10 @@ func (c *Channel) IssueACT(bank int, row uint32, t sim.Time) {
 	b := &c.banks[bank]
 	if e := c.EarliestACT(bank, t); t < e {
 		panic(fmt.Sprintf("dram: ACT at %d before earliest %d", t, e))
+	}
+	if c.subs > 1 && int(row)%c.subs != bank%c.subs {
+		panic(fmt.Sprintf("dram: ACT row %d to subarray slot %d (want %d)",
+			row, bank%c.subs, int(row)%c.subs))
 	}
 	b.open = true
 	b.row = row

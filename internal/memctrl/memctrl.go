@@ -20,6 +20,7 @@ import (
 	"microbank/internal/dram"
 	"microbank/internal/obs"
 	"microbank/internal/sim"
+	"microbank/internal/stats"
 )
 
 // Request is one cache-line memory transaction presented to a
@@ -75,7 +76,13 @@ type Stats struct {
 	QueueOccIntegral         float64 // occupancy × ps
 	ReadLatencyIntegralPS    float64
 	PredDecisions, PredRight uint64
-	Energy                   dram.Energy
+	// RegDeferred counts selection-pass deferrals by the bandwidth
+	// regulator: one per request held out of one scheduling pass
+	// because its thread had exhausted its per-bank budget for the
+	// epoch (so a request stalled across many passes counts many
+	// times — it is an activity gauge, not a request count).
+	RegDeferred uint64
+	Energy      dram.Energy
 }
 
 // RowHitRate returns serviced-from-open-row fraction.
@@ -158,6 +165,29 @@ type Controller struct {
 	// at most one entry per window slot, reused across formations.
 	batchScratch []tbCount
 
+	// subs is Org.Subarrays(): SALP pseudo-banks per local bank. The
+	// channel's bank array is expanded by this factor, and Enqueue
+	// spreads requests over the pseudo-banks by row%subs, so all the
+	// selection machinery above runs at subarray granularity unchanged.
+	subs int
+
+	// MemGuard-style bandwidth regulator (cfg.BankBudget > 0): regUsed
+	// counts serviced column accesses per (thread, pseudo-bank) in the
+	// current replenishment epoch, thread-major (thread*nbanks + bank),
+	// cleared on epoch rollover. regFiltered notes that best held a
+	// request back this eval, so an epoch-boundary wake is scheduled.
+	regOn       bool
+	regBudget   int32
+	regEpoch    sim.Time
+	regEpochIdx int64
+	regUsed     []int32
+	regFiltered bool
+
+	// latHists holds one request-latency histogram per hardware thread
+	// (picoseconds, arrival to data completion, reads and writes) for
+	// the tail-latency and fairness metrics.
+	latHists []stats.Histogram
+
 	stats        Stats
 	lastOccCheck sim.Time
 
@@ -204,6 +234,17 @@ func New(eng *sim.Engine, mem config.Mem, ctl config.Ctrl, threads int) *Control
 		markedPerThread: make([]int, threads),
 		batchScratch:    make([]tbCount, 0, ctl.QueueDepth),
 		trc:             ch.Config().Timing.TRC(),
+		subs:            ch.Subarrays(),
+		latHists:        make([]stats.Histogram, threads),
+	}
+	if ctl.BankBudget > 0 {
+		c.regOn = true
+		c.regBudget = int32(ctl.BankBudget)
+		c.regEpoch = ctl.RegEpoch
+		if c.regEpoch <= 0 {
+			c.regEpoch = config.DefaultRegEpoch
+		}
+		c.regUsed = make([]int32, threads*ch.NumBanks())
 	}
 	for i := range c.banks {
 		c.banks[i].idx = i
@@ -298,6 +339,12 @@ func (c *Controller) Enqueue(r *Request) {
 	r.arrive = now
 	r.loc = c.mapper.Map(r.Addr)
 	r.bank = c.mapper.LocalBank(r.loc)
+	if c.subs > 1 {
+		// SALP: the row selects the subarray; pseudo-banks are laid out
+		// subarray-minor so bank%subs is the subarray index.
+		r.bank = r.bank*c.subs + int(r.loc.Row)%c.subs
+	}
+	c.ensureThread(r.Thread)
 	r.seq = c.seq
 	c.seq++
 	c.resolveDecision(r.bank, r.loc.Row, now)
@@ -376,6 +423,9 @@ type candidate struct {
 func (c *Controller) eval(now sim.Time) {
 	c.eng.Cancel(c.wake)
 	c.wake = sim.Event{}
+	if c.regOn {
+		c.regSync(now)
+	}
 	for {
 		// Catch up any overdue refreshes (cheap no-op when none due).
 		for c.ch.MaybeRefresh(now) {
@@ -398,7 +448,56 @@ func (c *Controller) eval(now sim.Time) {
 	if len(c.queue) > 0 && c.ch.RefreshDue(now) {
 		c.scheduleWake(now + sim.Nanosecond)
 	}
+	// A regulator-deferred request becomes schedulable when budgets
+	// replenish: wake at the next epoch boundary.
+	if c.regFiltered {
+		c.regFiltered = false
+		c.scheduleWake(sim.Time(c.regEpochIdx+1) * c.regEpoch)
+	}
 }
+
+// regSync rolls the regulator over to the epoch containing now,
+// replenishing every (thread, bank) budget. eval runs at one instant,
+// so the O(threads·banks) clear happens at most once per epoch
+// boundary actually visited, not per pass.
+func (c *Controller) regSync(now sim.Time) {
+	e := int64(now / c.regEpoch)
+	if e == c.regEpochIdx {
+		return
+	}
+	c.regEpochIdx = e
+	for i := range c.regUsed {
+		c.regUsed[i] = 0
+	}
+}
+
+// regAdmit reports whether the regulator lets r compete in this
+// selection pass: its thread must still hold budget for its (pseudo-)
+// bank in the current epoch.
+func (c *Controller) regAdmit(r *Request) bool {
+	return c.regUsed[r.Thread*len(c.banks)+r.bank] < c.regBudget
+}
+
+// ensureThread grows the per-thread tables when a request arrives from
+// a thread id beyond the size the controller was constructed with.
+func (c *Controller) ensureThread(t int) {
+	if t >= len(c.latHists) {
+		grown := make([]stats.Histogram, t+1)
+		copy(grown, c.latHists)
+		c.latHists = grown
+	}
+	if c.regOn && (t+1)*len(c.banks) > len(c.regUsed) {
+		grown := make([]int32, (t+1)*len(c.banks))
+		copy(grown, c.regUsed)
+		c.regUsed = grown
+	}
+}
+
+// ThreadLatencies exposes the per-thread request-latency histograms
+// (picoseconds, arrival to data completion; reads and writes). The
+// slice is live controller state — read it only between events, and
+// do not mutate it while the run advances.
+func (c *Controller) ThreadLatencies() []stats.Histogram { return c.latHists }
 
 func (c *Controller) scheduleWake(at sim.Time) {
 	if at <= c.eng.Now() {
@@ -521,6 +620,13 @@ func (c *Controller) best(now sim.Time) (candidate, bool) {
 	win := c.window()
 	banks := c.passBanks[:0]
 	for wi, r := range win {
+		if c.regOn && !c.regAdmit(r) {
+			// Over budget this epoch: the request sits out the pass
+			// entirely (it neither wins its bank nor blocks others).
+			c.regFiltered = true
+			c.stats.RegDeferred++
+			continue
+		}
 		if cur := c.winners[r.bank]; cur < 0 {
 			open, row := c.ch.Open(r.bank)
 			or := int64(-1)
@@ -691,6 +797,10 @@ func (c *Controller) serviceColumn(cd candidate, now sim.Time) {
 		c.stats.Reads++
 		c.stats.ReadLatencyIntegralPS += float64(doneAt - r.arrive)
 	}
+	if c.regOn {
+		c.regUsed[r.Thread*len(c.banks)+r.bank]++
+	}
+	c.latHists[r.Thread].Observe(uint64(doneAt - r.arrive))
 	if !r.ownMiss {
 		c.stats.RowHits++
 	}

@@ -67,6 +67,11 @@ func referenceBest(c *Controller, now sim.Time) (candidate, bool) {
 	winners := make(map[int]*Request)
 	var banks []int
 	for _, r := range c.window() {
+		// Regulator admission mirrors the fast path: a request whose
+		// thread is over budget for its bank sits the pass out.
+		if c.regOn && c.regUsed[r.Thread*len(c.banks)+r.bank] >= c.regBudget {
+			continue
+		}
 		cur, ok := winners[r.bank]
 		switch {
 		case !ok:
@@ -157,83 +162,106 @@ func referenceBatchMarks(c *Controller) map[*Request]bool {
 // that the marked set, batchLive, and markedPerThread tallies match the
 // reference marking.
 func TestSchedulerMatchesMapReference(t *testing.T) {
+	variants := []struct {
+		name   string
+		subs   int // SALP subarrays per bank (0 = off)
+		budget int // regulator per-(thread,bank) budget (0 = off)
+	}{
+		{"base", 0, 0},
+		{"regulated", 0, 2},
+		{"salp4", 4, 0},
+		{"salp4-regulated", 4, 2},
+	}
 	for _, sc := range []struct {
 		name string
 		s    config.Scheduler
 	}{{"FCFS", config.SchedFCFS}, {"FRFCFS", config.SchedFRFCFS}, {"PARBS", config.SchedPARBS}} {
-		t.Run(sc.name, func(t *testing.T) {
-			defer func() { schedHookBest, schedHookBatch = nil, nil }()
-			var bestChecks, batchChecks int
-			schedHookBest = func(c *Controller, now sim.Time, chosen candidate, found bool) {
-				refC, refFound := referenceBest(c, now)
-				if refFound != found {
-					t.Fatalf("pass %d at %d: fast path found=%v, reference found=%v",
-						bestChecks, now, found, refFound)
-				}
-				if found && refC != chosen {
-					t.Fatalf("pass %d at %d: fast path chose %+v, reference chose %+v",
-						bestChecks, now, chosen, refC)
-				}
-				bestChecks++
-			}
-			schedHookBatch = func(c *Controller) {
-				marks := referenceBatchMarks(c)
-				live := 0
-				perThread := make(map[int]int)
-				for _, r := range c.window() {
-					if r.marked != marks[r] {
-						t.Fatalf("batch %d: request seq %d marked=%v, reference=%v",
-							batchChecks, r.seq, r.marked, marks[r])
+		for _, va := range variants {
+			sc, va := sc, va
+			t.Run(sc.name+"/"+va.name, func(t *testing.T) {
+				defer func() { schedHookBest, schedHookBatch = nil, nil }()
+				var bestChecks, batchChecks int
+				schedHookBest = func(c *Controller, now sim.Time, chosen candidate, found bool) {
+					refC, refFound := referenceBest(c, now)
+					if refFound != found {
+						t.Fatalf("pass %d at %d: fast path found=%v, reference found=%v",
+							bestChecks, now, found, refFound)
 					}
-					if r.marked {
-						live++
-						perThread[r.Thread]++
+					if found && refC != chosen {
+						t.Fatalf("pass %d at %d: fast path chose %+v, reference chose %+v",
+							bestChecks, now, chosen, refC)
 					}
+					bestChecks++
 				}
-				if c.batchLive != live {
-					t.Fatalf("batch %d: batchLive=%d, reference=%d", batchChecks, c.batchLive, live)
-				}
-				for thread, n := range perThread {
-					if c.markedPerThread[thread] != n {
-						t.Fatalf("batch %d: markedPerThread[%d]=%d, reference=%d",
-							batchChecks, thread, c.markedPerThread[thread], n)
+				schedHookBatch = func(c *Controller) {
+					marks := referenceBatchMarks(c)
+					live := 0
+					perThread := make(map[int]int)
+					for _, r := range c.window() {
+						if r.marked != marks[r] {
+							t.Fatalf("batch %d: request seq %d marked=%v, reference=%v",
+								batchChecks, r.seq, r.marked, marks[r])
+						}
+						if r.marked {
+							live++
+							perThread[r.Thread]++
+						}
 					}
+					if c.batchLive != live {
+						t.Fatalf("batch %d: batchLive=%d, reference=%d", batchChecks, c.batchLive, live)
+					}
+					for thread, n := range perThread {
+						if c.markedPerThread[thread] != n {
+							t.Fatalf("batch %d: markedPerThread[%d]=%d, reference=%d",
+								batchChecks, thread, c.markedPerThread[thread], n)
+						}
+					}
+					batchChecks++
 				}
-				batchChecks++
-			}
 
-			rng := rand.New(rand.NewSource(31 + int64(sc.s)))
-			eng, c, _ := benchController(sc.s, 0)
-			done, total := 0, 0
-			at := sim.Time(0)
-			for burst := 0; burst < 40; burst++ {
-				at += sim.Time(rng.Intn(500)) * sim.Nanosecond
-				n := 1 + rng.Intn(12)
-				for i := 0; i < n; i++ {
-					r := &Request{
-						// A small address range concentrates traffic so
-						// row conflicts, bank contention, and deep
-						// windows all occur.
-						Addr:   (rng.Uint64() % (1 << 22)) &^ 63,
-						Write:  rng.Intn(4) == 0,
-						Thread: rng.Intn(8),
-						Done:   func(sim.Time) { done++ },
+				rng := rand.New(rand.NewSource(31 + int64(sc.s)))
+				mem := config.MemPreset(config.LPDDRTSI, 2, 8)
+				mem.Org.Channels = 1
+				mem.Org.SubarraysPerBank = va.subs
+				mem.Timing.TREFI = 0
+				mem.Timing.TRFC = 0
+				ctl := config.DefaultCtrl()
+				ctl.Scheduler = sc.s
+				ctl.BankBudget = va.budget
+				ctl.RegEpoch = 2000 * sim.Nanosecond
+				eng := sim.NewEngine()
+				c := New(eng, mem, ctl, 8)
+				done, total := 0, 0
+				at := sim.Time(0)
+				for burst := 0; burst < 40; burst++ {
+					at += sim.Time(rng.Intn(500)) * sim.Nanosecond
+					n := 1 + rng.Intn(12)
+					for i := 0; i < n; i++ {
+						r := &Request{
+							// A small address range concentrates traffic so
+							// row conflicts, bank contention, and deep
+							// windows all occur.
+							Addr:   (rng.Uint64() % (1 << 22)) &^ 63,
+							Write:  rng.Intn(4) == 0,
+							Thread: rng.Intn(8),
+							Done:   func(sim.Time) { done++ },
+						}
+						total++
+						eng.Schedule(at, func(*sim.Engine) { c.Enqueue(r) })
 					}
-					total++
-					eng.Schedule(at, func(*sim.Engine) { c.Enqueue(r) })
 				}
-			}
-			eng.Run()
-			if done != total {
-				t.Fatalf("%d of %d requests completed", done, total)
-			}
-			if bestChecks == 0 {
-				t.Fatal("best hook never fired")
-			}
-			if sc.s == config.SchedPARBS && batchChecks == 0 {
-				t.Fatal("batch hook never fired")
-			}
-			t.Logf("%d selection passes, %d batch formations cross-checked", bestChecks, batchChecks)
-		})
+				eng.Run()
+				if done != total {
+					t.Fatalf("%d of %d requests completed", done, total)
+				}
+				if bestChecks == 0 {
+					t.Fatal("best hook never fired")
+				}
+				if sc.s == config.SchedPARBS && batchChecks == 0 {
+					t.Fatal("batch hook never fired")
+				}
+				t.Logf("%d selection passes, %d batch formations cross-checked", bestChecks, batchChecks)
+			})
+		}
 	}
 }

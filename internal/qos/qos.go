@@ -1,0 +1,213 @@
+// Package qos derives an analytic per-request worst-case interference
+// bound for a memory configuration under the controller's bandwidth
+// regulator, in the spirit of Yun et al., "Parallelism-Aware Memory
+// Interference Delay Analysis for COTS Multicore Systems" (2014; see
+// PAPERS.md). The bound is deliberately conservative — it composes
+// closed-form capacities rather than simulating — and exists to be
+// asserted against: a property test drives the simulator with random
+// co-runner mixes and checks that no serviced request's latency ever
+// exceeds Analyze's bound (internal/qos tests, CI qos-matrix job).
+//
+// The analysis is epoch-capacity based. With a per-(thread, bank)
+// budget of B column accesses per replenishment epoch E, an epoch can
+// carry at most C = threads × banks × B services, each occupying the
+// shared column/data bus for at most one "column gap". If E exceeds
+// that capacity plus one worst-case bank conflict path plus the
+// refresh blackouts the epoch may contain, then every epoch in which
+// any admitted request is pending retires at least one request; a
+// budget-blocked queue costs at most one extra epoch before
+// replenishment. A request therefore waits at most (heads + 2) such
+// epochs, doubled for admit/blocked alternation, where heads bounds
+// how many services the scheduler may order before it.
+//
+// The reordering depth depends on the scheduler:
+//
+//   - FCFS: per-bank service is in arrival order and every competitor
+//     holds at most its outstanding quota, so heads = W, the total
+//     outstanding window (threads × per-thread outstanding).
+//   - PAR-BS: a request may stay unmarked while older same-(thread,
+//     bank) requests fill the per-batch cap, then its own batch must
+//     drain; heads = (ceil((K−1)/BatchCap) + 1) × W for per-thread
+//     outstanding K.
+//   - FR-FCFS: row-hit preference can reorder an unbounded stream of
+//     younger hits ahead of an older miss — even the regulator cannot
+//     stop a thread's own younger hits from consuming its budget ahead
+//     of its older miss. The analysis reports Unbounded.
+//
+// Without the regulator every scheduler here is Unbounded: cross-bank
+// arbitration prefers row hits, so a hit stream can starve a miss
+// indefinitely.
+package qos
+
+import (
+	"fmt"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+)
+
+// Harness describes the closed-loop co-runner mix the bound must hold
+// for: Threads generators, each keeping MaxOutstanding requests in
+// flight. The analysis requires Threads×MaxOutstanding to fit in the
+// controller's scheduling window (otherwise a request can sit beyond
+// the window indefinitely and no bound exists).
+type Harness struct {
+	Threads        int
+	MaxOutstanding int
+}
+
+// Window returns the total outstanding-request window W.
+func (h Harness) Window() int { return h.Threads * h.MaxOutstanding }
+
+// Analysis is the outcome of Analyze: either a finite worst-case
+// request latency (BoundPS) or Unbounded with the starvation Reason.
+// The component fields document how the bound was composed.
+type Analysis struct {
+	BoundPS   sim.Time
+	Unbounded bool
+	Reason    string
+
+	// Window is W = Threads × MaxOutstanding; Heads the scheduler
+	// reordering depth (services that may be ordered before a request).
+	Window int
+	Heads  int
+	// EpochPS is the regulator epoch; SlotPS the worst-case bank
+	// conflict path; ForeignPS the epoch's regulated bus capacity;
+	// RefreshPS the blackout time an epoch may contain.
+	EpochPS   sim.Time
+	SlotPS    sim.Time
+	ForeignPS sim.Time
+	RefreshPS sim.Time
+}
+
+// Check asserts an observed maximum request latency against the bound.
+// It returns an error when the analysis is unbounded (nothing can be
+// asserted) or when the observation exceeds the bound — the latter
+// means either the analysis or the simulator is wrong, which is
+// exactly what the property test exists to catch.
+func (a Analysis) Check(maxObservedPS sim.Time) error {
+	if a.Unbounded {
+		return fmt.Errorf("qos: no finite bound: %s", a.Reason)
+	}
+	if maxObservedPS > a.BoundPS {
+		return fmt.Errorf("qos: observed max latency %d ps exceeds analytic worst case %d ps (W=%d heads=%d epoch=%d slot=%d foreign=%d refresh=%d)",
+			uint64(maxObservedPS), uint64(a.BoundPS), a.Window, a.Heads,
+			uint64(a.EpochPS), uint64(a.SlotPS), uint64(a.ForeignPS), uint64(a.RefreshPS))
+	}
+	return nil
+}
+
+// unbounded builds an Unbounded analysis with the given reason.
+func unbounded(h Harness, reason string) Analysis {
+	return Analysis{Unbounded: true, Reason: reason, Window: h.Window()}
+}
+
+// Analyze computes the worst-case per-request latency for one channel
+// of the given memory configuration under controller configuration ctl
+// and the closed-loop harness h. See the package comment for the
+// model; every composition step rounds against the requester.
+func Analyze(mem config.Mem, ctl config.Ctrl, h Harness) Analysis {
+	if h.Threads <= 0 || h.MaxOutstanding <= 0 {
+		return unbounded(h, "empty harness")
+	}
+	w := h.Window()
+	if w > ctl.QueueDepth {
+		return unbounded(h, fmt.Sprintf("outstanding window %d exceeds scheduling window %d: requests beyond the window cannot be scheduled", w, ctl.QueueDepth))
+	}
+	if ctl.BankBudget <= 0 {
+		return unbounded(h, "bandwidth regulator off: row-hit streams can starve older misses indefinitely")
+	}
+	if ctl.Scheduler == config.SchedFRFCFS {
+		return unbounded(h, "FR-FCFS has no row-hit streak cap: younger hits reorder ahead of an older miss without limit")
+	}
+
+	tm := mem.Timing
+	o := mem.Org
+	nbanks := o.RanksPerChan * o.BanksPerRank * o.NW * o.NB * o.Subarrays()
+
+	epoch := ctl.RegEpoch
+	if epoch <= 0 {
+		epoch = config.DefaultRegEpoch
+	}
+
+	// Worst-case shared-bus occupancy per column access: command
+	// spacing, the burst itself, and the worst turnaround (write-to-
+	// read, rank switch, or the fixed read-to-write gap).
+	turn := tm.TWTR
+	if t := tm.TRTRS + tm.TCCD; t > turn {
+		turn = t
+	}
+	if t := 2 * sim.Nanosecond; t > turn {
+		turn = t
+	}
+	colGap := tm.TCCD + tm.TBL + turn
+
+	// Worst-case conflict path to service one bank-head request on a
+	// quiet bus: wait out the previous access's recovery (row restore,
+	// write recovery, or read-to-precharge), precharge, activate
+	// (possibly stalled a full four-activate window), then the column
+	// access and burst.
+	recover := tm.TRAS
+	if t := tm.TRCD + tm.TAA + tm.TBL + tm.TWR; t > recover {
+		recover = t
+	}
+	if t := tm.TRCD + tm.TRTP; t > recover {
+		recover = t
+	}
+	slot := recover + tm.TRP + tm.TRCD + tm.TAA + tm.TBL + tm.TFAW
+
+	// Per-epoch regulated capacity: every (thread, bank) pair may
+	// consume its full budget, each service costing one column gap.
+	foreign := sim.Time(h.Threads*nbanks*ctl.BankBudget) * colGap
+
+	// Refresh blackout an epoch may contain. Per-bank refresh shortens
+	// the blackout but runs banks× as often; all-bank stalls the whole
+	// channel for tRFC per tREFI. Either way, bound the blackout time
+	// inside one epoch.
+	var refresh sim.Time
+	if tm.TREFI > 0 {
+		n := int64(epoch/tm.TREFI) + 1
+		per := tm.TRFC
+		if tm.PerBankRefresh {
+			// REFpb: blackouts are tRFC/banks long but tREFI/banks apart;
+			// the per-epoch total is the same to first order.
+			nb := int64(o.BanksPerRank * o.RanksPerChan)
+			n = int64(epoch/(tm.TREFI/sim.Time(nb))) + 1
+			per = tm.TRFC / sim.Time(nb)
+			if per < sim.Nanosecond {
+				per = sim.Nanosecond
+			}
+		}
+		refresh = sim.Time(n) * per
+	}
+
+	if epoch < foreign+slot+refresh {
+		return unbounded(h, fmt.Sprintf("regulator epoch %d ps saturated: regulated traffic %d + conflict path %d + refresh %d ps can fill it, so no per-epoch progress is guaranteed", uint64(epoch), uint64(foreign), uint64(slot), uint64(refresh)))
+	}
+
+	// Scheduler reordering depth.
+	heads := w
+	if ctl.Scheduler == config.SchedPARBS {
+		bcap := ctl.BatchCap
+		if bcap <= 0 {
+			bcap = 1
+		}
+		batches := (h.MaxOutstanding-1+bcap-1)/bcap + 1
+		heads = batches * w
+	}
+
+	// Each head costs at most one progress epoch; doubled because a
+	// fully budget-blocked queue spends an idle epoch awaiting
+	// replenishment; +2 epochs for arrival mid-epoch and the request's
+	// own service epoch.
+	bound := sim.Time(2*(heads+2)) * epoch
+	return Analysis{
+		BoundPS:   bound,
+		Window:    w,
+		Heads:     heads,
+		EpochPS:   epoch,
+		SlotPS:    slot,
+		ForeignPS: foreign,
+		RefreshPS: refresh,
+	}
+}

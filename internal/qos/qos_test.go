@@ -1,0 +1,268 @@
+package qos
+
+// The analytic bound is only worth having if the simulator is held to
+// it: the property test below drives the real controller with
+// randomized closed-loop co-runner mixes (streaming and random threads,
+// mixed read/write) under the bandwidth regulator and asserts that no
+// serviced request's latency ever exceeds Analyze's worst case — for
+// FCFS and PAR-BS, with and without SALP subarrays. The seeded
+// violation test then proves the checker has teeth: an analysis fed an
+// understated replenishment epoch must reject the same simulation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/memctrl"
+	"microbank/internal/sim"
+)
+
+// runClosedLoop drives one controller with h.Threads generators, each
+// keeping h.MaxOutstanding requests in flight until it has retired
+// perThread requests, and returns the maximum observed request latency
+// (enqueue to data completion). Threads get randomized personalities
+// from seed: streaming (row-friendly strides) or uniform-random
+// addressing, with a randomized write fraction.
+func runClosedLoop(mem config.Mem, ctl config.Ctrl, h Harness, seed int64, perThread int) sim.Time {
+	eng := sim.NewEngine()
+	c := memctrl.New(eng, mem, ctl, h.Threads)
+	rng := rand.New(rand.NewSource(seed))
+	var maxLat sim.Time
+
+	type gen struct {
+		remaining int
+		stream    bool
+		next      uint64
+		writePct  int
+	}
+	gens := make([]*gen, h.Threads)
+	for t := range gens {
+		gens[t] = &gen{
+			remaining: perThread,
+			stream:    rng.Intn(2) == 0,
+			next:      rng.Uint64() % (1 << 26),
+			writePct:  rng.Intn(40),
+		}
+	}
+	var launch func(th int)
+	launch = func(th int) {
+		g := gens[th]
+		if g.remaining <= 0 {
+			return
+		}
+		g.remaining--
+		var a uint64
+		if g.stream {
+			a = g.next
+			g.next += 64
+		} else {
+			a = rng.Uint64() % (1 << 26)
+		}
+		r := &memctrl.Request{
+			Addr:   a &^ 63,
+			Write:  rng.Intn(100) < g.writePct,
+			Thread: th,
+		}
+		start := eng.Now()
+		r.Done = func(at sim.Time) {
+			if lat := at - start; lat > maxLat {
+				maxLat = lat
+			}
+			launch(th)
+		}
+		c.Enqueue(r)
+	}
+	for th := 0; th < h.Threads; th++ {
+		for k := 0; k < h.MaxOutstanding; k++ {
+			launch(th)
+		}
+	}
+	eng.Run()
+	return maxLat
+}
+
+// qosMem returns the single-channel memory configuration the property
+// runs use, with the requested SALP subarray count.
+func qosMem(subs int) config.Mem {
+	mem := config.MemPreset(config.LPDDRTSI, 1, 1)
+	mem.Org.Channels = 1
+	mem.Org.SubarraysPerBank = subs
+	return mem
+}
+
+// TestAnalyticBoundProperty is the tentpole assertion: across
+// schedulers, SALP settings, and seeds, the simulated worst-case
+// latency under the regulator stays below the analytic bound.
+func TestAnalyticBoundProperty(t *testing.T) {
+	h := Harness{Threads: 4, MaxOutstanding: 4}
+	cases := []struct {
+		name   string
+		sched  config.Scheduler
+		subs   int
+		budget int
+		epoch  sim.Time
+	}{
+		{"fcfs", config.SchedFCFS, 0, 2, 4000 * sim.Nanosecond},
+		{"parbs", config.SchedPARBS, 0, 2, 4000 * sim.Nanosecond},
+		{"fcfs-salp4", config.SchedFCFS, 4, 1, 8000 * sim.Nanosecond},
+		{"parbs-salp4", config.SchedPARBS, 4, 1, 8000 * sim.Nanosecond},
+	}
+	perThread := 300
+	seeds := []int64{11, 23, 47}
+	if testing.Short() {
+		perThread = 120
+		seeds = seeds[:1]
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mem := qosMem(tc.subs)
+			ctl := config.DefaultCtrl()
+			ctl.Scheduler = tc.sched
+			ctl.BankBudget = tc.budget
+			ctl.RegEpoch = tc.epoch
+			a := Analyze(mem, ctl, h)
+			if a.Unbounded {
+				t.Fatalf("expected a finite bound, got unbounded: %s", a.Reason)
+			}
+			for _, seed := range seeds {
+				maxLat := runClosedLoop(mem, ctl, h, seed, perThread)
+				if maxLat == 0 {
+					t.Fatalf("seed %d: no requests serviced", seed)
+				}
+				if err := a.Check(maxLat); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSeededViolation proves the checker trips: the simulation runs
+// with a 50 μs replenishment epoch (single-bank traffic, budget 1, so
+// deferred requests genuinely wait epochs out), while the analysis is
+// fed a config claiming 2 μs replenishment. The observed latency must
+// exceed the understated bound and Check must reject it.
+func TestSeededViolation(t *testing.T) {
+	h := Harness{Threads: 4, MaxOutstanding: 4}
+	mem := qosMem(0)
+	ctl := config.DefaultCtrl()
+	ctl.Scheduler = config.SchedFCFS
+	ctl.BankBudget = 1
+	ctl.RegEpoch = 50000 * sim.Nanosecond
+
+	// All threads hammer one row of one bank: per epoch each thread is
+	// granted one access there, so with 16 outstanding the tail request
+	// waits several 50 μs epochs.
+	eng := sim.NewEngine()
+	c := memctrl.New(eng, mem, ctl, h.Threads)
+	var maxLat sim.Time
+	perThread := 20
+	remaining := make([]int, h.Threads)
+	line := uint64(0)
+	var launch func(th int)
+	launch = func(th int) {
+		if remaining[th] <= 0 {
+			return
+		}
+		remaining[th]--
+		r := &memctrl.Request{Addr: (line * 64) % 2048, Thread: th}
+		line++
+		start := eng.Now()
+		r.Done = func(at sim.Time) {
+			if lat := at - start; lat > maxLat {
+				maxLat = lat
+			}
+			launch(th)
+		}
+		c.Enqueue(r)
+	}
+	for th := 0; th < h.Threads; th++ {
+		remaining[th] = perThread
+		for k := 0; k < h.MaxOutstanding; k++ {
+			launch(th)
+		}
+	}
+	eng.Run()
+
+	lied := ctl
+	lied.RegEpoch = 2000 * sim.Nanosecond
+	a := Analyze(mem, lied, h)
+	if a.Unbounded {
+		t.Fatalf("understated analysis should still be bounded, got: %s", a.Reason)
+	}
+	if maxLat <= a.BoundPS {
+		t.Fatalf("harness did not produce an over-bound latency: max %d ps vs bound %d ps", uint64(maxLat), uint64(a.BoundPS))
+	}
+	if err := a.Check(maxLat); err == nil {
+		t.Fatalf("checker failed to trip on over-budget config: max %d ps, bound %d ps", uint64(maxLat), uint64(a.BoundPS))
+	}
+}
+
+// TestAnalyzeUnboundedCases pins the starvation taxonomy: FR-FCFS,
+// unregulated controllers, and over-window harnesses have no bound.
+func TestAnalyzeUnboundedCases(t *testing.T) {
+	mem := qosMem(0)
+	h := Harness{Threads: 4, MaxOutstanding: 4}
+
+	ctl := config.DefaultCtrl()
+	ctl.Scheduler = config.SchedFRFCFS
+	ctl.BankBudget = 2
+	if a := Analyze(mem, ctl, h); !a.Unbounded {
+		t.Errorf("FR-FCFS must be unbounded, got bound %d", a.BoundPS)
+	}
+
+	ctl = config.DefaultCtrl()
+	ctl.Scheduler = config.SchedFCFS
+	if a := Analyze(mem, ctl, h); !a.Unbounded {
+		t.Errorf("unregulated FCFS must be unbounded, got bound %d", a.BoundPS)
+	}
+
+	ctl.BankBudget = 2
+	big := Harness{Threads: 16, MaxOutstanding: 4} // W=64 > QueueDepth 32
+	if a := Analyze(mem, ctl, big); !a.Unbounded {
+		t.Errorf("over-window harness must be unbounded, got bound %d", a.BoundPS)
+	}
+
+	// A saturated epoch (huge budget, tiny epoch) guarantees nothing.
+	ctl.BankBudget = 1000
+	ctl.RegEpoch = 100 * sim.Nanosecond
+	if a := Analyze(mem, ctl, h); !a.Unbounded {
+		t.Errorf("saturated epoch must be unbounded, got bound %d", a.BoundPS)
+	}
+}
+
+// TestAnalyzeComposition sanity-checks the bound's structure: PAR-BS
+// reorders deeper than FCFS, and SALP's extra pseudo-banks raise the
+// per-epoch regulated capacity.
+func TestAnalyzeComposition(t *testing.T) {
+	h := Harness{Threads: 4, MaxOutstanding: 4}
+	ctl := config.DefaultCtrl()
+	ctl.Scheduler = config.SchedFCFS
+	ctl.BankBudget = 1
+	ctl.RegEpoch = 8000 * sim.Nanosecond
+
+	fcfs := Analyze(qosMem(0), ctl, h)
+	if fcfs.Unbounded {
+		t.Fatalf("fcfs: %s", fcfs.Reason)
+	}
+	ctl.Scheduler = config.SchedPARBS
+	parbs := Analyze(qosMem(0), ctl, h)
+	if parbs.Unbounded {
+		t.Fatalf("parbs: %s", parbs.Reason)
+	}
+	if parbs.Heads <= fcfs.Heads || parbs.BoundPS <= fcfs.BoundPS {
+		t.Errorf("PAR-BS must reorder deeper than FCFS: heads %d vs %d, bound %d vs %d",
+			parbs.Heads, fcfs.Heads, parbs.BoundPS, fcfs.BoundPS)
+	}
+	ctl.Scheduler = config.SchedFCFS
+	salp := Analyze(qosMem(4), ctl, h)
+	if salp.Unbounded {
+		t.Fatalf("salp: %s", salp.Reason)
+	}
+	if salp.ForeignPS <= fcfs.ForeignPS {
+		t.Errorf("SALP must raise regulated capacity: %d vs %d", salp.ForeignPS, fcfs.ForeignPS)
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+// Property tests for the QoS metrics: randomized sample streams check
+// the invariants the tail-latency plumbing relies on — quantiles are
+// monotone in q and bracketed by [Min, Max], merging histograms is
+// exactly equivalent to observing the union, MaxSlowdown is at least 1
+// whenever it is finite, and Jain's index stays in (0, 1] and hits 1
+// exactly under even service.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randHist builds a histogram of n samples drawn with a randomized
+// magnitude spread, so bucket occupancy varies from spiky to wide.
+func randHist(rng *rand.Rand, n int) Histogram {
+	var h Histogram
+	shift := uint(rng.Intn(40))
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Uint64() >> shift)
+	}
+	return h
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := randHist(rng, 1+rng.Intn(500))
+		prev := uint64(0)
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%g)=%d below previous %d", trial, q, v, prev)
+			}
+			if v > h.Max() {
+				t.Fatalf("trial %d: Quantile(%g)=%d exceeds Max %d", trial, q, v, h.Max())
+			}
+			prev = v
+		}
+		if q1 := h.Quantile(1); q1 != h.Max() {
+			t.Fatalf("trial %d: Quantile(1)=%d, want Max %d", trial, q1, h.Max())
+		}
+	}
+}
+
+// TestMergeEquivalenceProperty: merging histograms of two streams is
+// exactly the histogram of the concatenated stream — bucket counts,
+// count, sum, min, and max all included. Histogram is a comparable
+// value type, so plain == checks every field.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var parts [3]Histogram
+		var whole Histogram
+		for p := range parts {
+			shift := uint(rng.Intn(40))
+			for i, n := 0, rng.Intn(200); i < n; i++ {
+				v := rng.Uint64() >> shift
+				parts[p].Observe(v)
+				whole.Observe(v)
+			}
+		}
+		var merged Histogram
+		for p := range parts {
+			merged.Merge(&parts[p])
+		}
+		if merged != whole {
+			t.Fatalf("trial %d: merge of parts differs from histogram of union: %+v vs %+v",
+				trial, merged, whole)
+		}
+	}
+}
+
+func TestMaxSlowdownProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		hists := make([]Histogram, 1+rng.Intn(8))
+		for i := range hists {
+			hists[i] = randHist(rng, rng.Intn(100))
+		}
+		s := MaxSlowdown(hists)
+		if math.IsInf(s, 1) {
+			continue // a zero-mean thread alongside a nonzero one
+		}
+		any := false
+		for i := range hists {
+			if hists[i].Count() > 0 {
+				any = true
+			}
+		}
+		if !any {
+			if s != 0 {
+				t.Fatalf("trial %d: no samples but MaxSlowdown=%g", trial, s)
+			}
+			continue
+		}
+		if s < 1 {
+			t.Fatalf("trial %d: MaxSlowdown=%g < 1", trial, s)
+		}
+	}
+}
+
+func TestFairnessIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		hists := make([]Histogram, 1+rng.Intn(8))
+		for i := range hists {
+			hists[i] = randHist(rng, 1+rng.Intn(100))
+		}
+		f := FairnessIndex(hists)
+		if f <= 0 || f > 1+1e-12 {
+			t.Fatalf("trial %d: FairnessIndex=%g outside (0,1]", trial, f)
+		}
+	}
+	// Identical per-thread service is perfectly fair.
+	even := make([]Histogram, 4)
+	for i := range even {
+		even[i].Observe(100)
+		even[i].Observe(300)
+	}
+	if f := FairnessIndex(even); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("even service: FairnessIndex=%g, want 1", f)
+	}
+}

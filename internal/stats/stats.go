@@ -137,6 +137,69 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
+// MaxSlowdown returns the largest per-thread mean latency over the
+// smallest, across histograms with at least one sample — the standard
+// max-slowdown metric with the best-served thread standing in for the
+// run-alone baseline (the simulator has no solo run to compare
+// against). It is >= 1 whenever any thread has samples: 1 means
+// perfectly even service, larger means the worst-served thread is
+// that many times slower than the best. Returns 0 with no samples,
+// +Inf when a thread's mean is zero while another's is not.
+func MaxSlowdown(hists []Histogram) float64 {
+	var minM, maxM float64
+	seen := false
+	for i := range hists {
+		h := &hists[i]
+		if h.Count() == 0 {
+			continue
+		}
+		m := h.Mean()
+		if !seen || m < minM {
+			minM = m
+		}
+		if m > maxM {
+			maxM = m
+		}
+		seen = true
+	}
+	switch {
+	case !seen:
+		return 0
+	case minM > 0:
+		return maxM / minM
+	case maxM == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}
+
+// FairnessIndex returns Jain's fairness index over per-thread mean
+// latencies: (Σm)²/(n·Σm²) across the n threads with samples. It is 1
+// when every thread sees the same mean latency and approaches 1/n
+// under maximal skew; 0 with no samples.
+func FairnessIndex(hists []Histogram) float64 {
+	var sum, sumSq float64
+	n := 0
+	for i := range hists {
+		h := &hists[i]
+		if h.Count() == 0 {
+			continue
+		}
+		m := h.Mean()
+		sum += m
+		sumSq += m * m
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	if sumSq == 0 {
+		return 1 // every mean is zero: identical service
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
 // Set is a string-keyed collection of counters used for per-run
 // summaries. Iteration (Names, String) is in sorted name order,
 // independent of insertion order.

@@ -65,6 +65,19 @@ func (m *machine) wireObs(o *obs.Observer) {
 		reg.GaugeFunc("mem.write_bw_gbps", func() float64 { return cur.writeBW }, lch)
 		reg.GaugeFunc("mem.row_hit_rate", func() float64 { return cur.rowHit }, lch)
 		reg.GaugeFunc("mem.pred_accuracy", func() float64 { return cur.pred }, lch)
+		// QoS plane: whole-run p99 request latency across threads and the
+		// bandwidth-regulator deferral count (0 with the regulator off).
+		reg.GaugeFunc("mem.lat_p99_ns", func() float64 {
+			var all stats.Histogram
+			lats := ctl.ThreadLatencies()
+			for t := range lats {
+				all.Merge(&lats[t])
+			}
+			return float64(all.Quantile(0.99)) / 1000
+		}, lch)
+		reg.GaugeFunc("mem.reg_deferred", func() float64 {
+			return float64(ctl.Stats().RegDeferred)
+		}, lch)
 	}
 
 	reg.GaugeFunc("cpu.instr_retired", func() float64 {

@@ -384,6 +384,7 @@ func addStats(a, b memctrl.Stats) memctrl.Stats {
 	a.ReadLatencyIntegralPS += b.ReadLatencyIntegralPS
 	a.PredDecisions += b.PredDecisions
 	a.PredRight += b.PredRight
+	a.RegDeferred += b.RegDeferred
 	a.Energy.ActPrePJ += b.Energy.ActPrePJ
 	a.Energy.RdWrPJ += b.Energy.RdWrPJ
 	a.Energy.IOPJ += b.Energy.IOPJ

@@ -25,6 +25,7 @@ import (
 	"microbank/internal/noc"
 	"microbank/internal/obs"
 	"microbank/internal/sim"
+	"microbank/internal/stats"
 	"microbank/internal/workload"
 )
 
@@ -97,6 +98,27 @@ type Result struct {
 	L2HitRate float64
 	// NoCAvgHops is mean hops per NoC packet.
 	NoCAvgHops float64
+
+	// QoS tail-latency and fairness metrics, computed from the
+	// per-thread request-latency histograms the controllers keep
+	// (arrival to data completion, reads and writes). Histograms
+	// cannot be warm-subtracted, so unlike the averages above these
+	// cover the WHOLE run including warm-up.
+	//
+	// LatP50NS..LatMaxNS are quantiles of the all-thread merged
+	// histogram; MaxSlowdown is worst-thread mean over best-thread
+	// mean (>= 1); FairnessIndex is Jain's index over per-thread
+	// means (1 = perfectly even service).
+	LatP50NS      float64
+	LatP95NS      float64
+	LatP99NS      float64
+	LatMaxNS      float64
+	MaxSlowdown   float64
+	FairnessIndex float64
+	// ThreadLat holds the merged-across-channels per-thread latency
+	// histograms the metrics above were computed from (indexed by
+	// hardware thread; threads with no requests have zero counts).
+	ThreadLat []stats.Histogram
 }
 
 // machine is the assembled hardware for one run.
@@ -289,6 +311,7 @@ func (m *machine) memAgg() memctrl.Stats {
 		mem.ReadLatencyIntegralPS += s.ReadLatencyIntegralPS
 		mem.PredDecisions += s.PredDecisions
 		mem.PredRight += s.PredRight
+		mem.RegDeferred += s.RegDeferred
 		mem.Energy.ActPrePJ += s.Energy.ActPrePJ
 		mem.Energy.RdWrPJ += s.Energy.RdWrPJ
 		mem.Energy.IOPJ += s.Energy.IOPJ
@@ -315,6 +338,7 @@ func subStats(a, b memctrl.Stats) memctrl.Stats {
 	a.ReadLatencyIntegralPS -= b.ReadLatencyIntegralPS
 	a.PredDecisions -= b.PredDecisions
 	a.PredRight -= b.PredRight
+	a.RegDeferred -= b.RegDeferred
 	a.Energy.ActPrePJ -= b.Energy.ActPrePJ
 	a.Energy.RdWrPJ -= b.Energy.RdWrPJ
 	a.Energy.IOPJ -= b.Energy.IOPJ
@@ -682,7 +706,43 @@ func (m *machine) collect() Result {
 	if a := end.l2a - warm.l2a; a > 0 {
 		res.L2HitRate = float64(end.l2h-warm.l2h) / float64(a)
 	}
+	m.collectQoS(&res)
 	return res
+}
+
+// collectQoS merges the controllers' per-thread latency histograms and
+// derives the tail-latency/fairness metrics. Histograms are whole-run
+// (no warm subtraction is possible); see the Result field docs.
+func (m *machine) collectQoS(res *Result) {
+	threads := 0
+	for _, ctl := range m.ctrls {
+		if n := len(ctl.ThreadLatencies()); n > threads {
+			threads = n
+		}
+	}
+	if threads == 0 {
+		return
+	}
+	res.ThreadLat = make([]stats.Histogram, threads)
+	for _, ctl := range m.ctrls {
+		for t, h := range ctl.ThreadLatencies() {
+			hh := h
+			res.ThreadLat[t].Merge(&hh)
+		}
+	}
+	var all stats.Histogram
+	for t := range res.ThreadLat {
+		all.Merge(&res.ThreadLat[t])
+	}
+	if all.Count() == 0 {
+		return
+	}
+	res.LatP50NS = float64(all.Quantile(0.50)) / 1000.0
+	res.LatP95NS = float64(all.Quantile(0.95)) / 1000.0
+	res.LatP99NS = float64(all.Quantile(0.99)) / 1000.0
+	res.LatMaxNS = float64(all.Max()) / 1000.0
+	res.MaxSlowdown = stats.MaxSlowdown(res.ThreadLat)
+	res.FairnessIndex = stats.FairnessIndex(res.ThreadLat)
 }
 
 func max(a, b int) int {
