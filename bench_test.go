@@ -283,6 +283,93 @@ func BenchmarkHeadlineRunLimits(b *testing.B) {
 	}
 }
 
+// BenchmarkHeadlineRunIntraAuto is BenchmarkHeadlineRun with -j-intra
+// auto: the width resolver estimates the per-domain window occupancy at
+// partition time and must pick the sequential engine whenever the
+// windowed one cannot win, so this benchmark may never be slower than
+// BenchmarkHeadlineRun beyond noise.
+func BenchmarkHeadlineRunIntraAuto(b *testing.B) {
+	var simPS sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := config.DefaultSystem(config.MemPreset(config.LPDDRTSI, 2, 8))
+		sys.Cores = 16
+		profs := make([]workload.Profile, sys.Cores)
+		for c := range profs {
+			profs[c] = workload.MustGet([]string{"429.mcf", "470.lbm", "433.milc", "462.libquantum"}[c%4])
+		}
+		spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: 8000,
+			WarmupInstr: 4000, Seed: 42, IntraParallelism: system.IntraAuto}
+		res, err := system.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simPS += res.RuntimePS
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(simPS)*1e-12/wall, "sim_s/wall_s")
+	}
+}
+
+// --- Batched sweep benchmarks ---
+//
+// The BenchmarkSweepBatched family measures sweep throughput in sweep
+// cells completed per second, the batched engine's headline metric
+// (`benchjson -diff` gates it against regressions). Each pair runs the
+// same sweep with batching off (B1) and at width 8 (B8); results are
+// byte-identical at every width, so the pair isolates the batching
+// machinery itself: shared workload front-end, contiguous bank-state
+// arenas, pooled engines.
+
+// benchSweepCells times fn (one whole sweep of `cells` runs) and
+// reports cells/sec.
+func benchSweepCells(b *testing.B, cells int, fn func() error) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric(float64(cells*b.N)/wall, "cells/sec")
+	}
+}
+
+// fig8SweepCells is the quick Fig. 8 population: 5 workloads (429.mcf,
+// the 3-member spec-high quick set, TPC-H) × the 25-cell (nW,nB) grid.
+const fig8SweepCells = 125
+
+func benchSweepFig8(b *testing.B, batch int) {
+	o := benchOpts
+	o.Batch = batch
+	benchSweepCells(b, fig8SweepCells, func() error {
+		_, err := experiments.Fig8(o)
+		return err
+	})
+}
+
+func BenchmarkSweepBatchedFig8B1(b *testing.B) { benchSweepFig8(b, 1) }
+func BenchmarkSweepBatchedFig8B8(b *testing.B) { benchSweepFig8(b, 8) }
+
+// qosSweepCells is the QoS matrix population: 3 organizations × 3
+// policies, each a multicore run.
+const qosSweepCells = 9
+
+func benchSweepQoS(b *testing.B, batch int) {
+	o := benchOpts
+	o.Batch = batch
+	benchSweepCells(b, qosSweepCells, func() error {
+		_, err := experiments.QoSSweep(o)
+		return err
+	})
+}
+
+func BenchmarkSweepBatchedQoSB1(b *testing.B) { benchSweepQoS(b, 1) }
+func BenchmarkSweepBatchedQoSB8(b *testing.B) { benchSweepQoS(b, 8) }
+
 // --- Substrate microbenchmarks ---
 
 func BenchmarkSimEngine(b *testing.B) {

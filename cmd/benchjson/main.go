@@ -27,9 +27,9 @@ import (
 )
 
 // benchPattern selects the trajectory set: every engine microbenchmark,
-// the controller's best/eval/formBatch loops, and the end-to-end
-// headline run anchor.
-const benchPattern = "BenchmarkEngine|BenchmarkBest|BenchmarkEval|BenchmarkFormBatch|BenchmarkHeadlineRun"
+// the controller's best/eval/formBatch loops, the end-to-end headline
+// run anchor, and the batched-sweep throughput family.
+const benchPattern = "BenchmarkEngine|BenchmarkBest|BenchmarkEval|BenchmarkFormBatch|BenchmarkHeadlineRun|BenchmarkSweep"
 
 var benchPackages = []string{"./internal/sim", "./internal/memctrl", "."}
 
@@ -43,7 +43,9 @@ type Result struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
-// File is the BENCH_<rev>.json schema.
+// File is the BENCH_<rev>.json schema. Batch and JIntra record the
+// -batch / -j-intra settings the recorded benchmark set exercised, so a
+// snapshot states which engine configurations its numbers cover.
 type File struct {
 	Rev        string   `json:"rev"`
 	Dirty      bool     `json:"dirty"`
@@ -52,6 +54,8 @@ type File struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	BenchTime  string   `json:"benchtime"`
+	Batch      string   `json:"batch,omitempty"`
+	JIntra     string   `json:"j_intra,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -62,7 +66,9 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json")
 	allowMissing := flag.Bool("allow-missing", false, "with -diff: benchmarks dropped from NEW are reported but do not fail the comparison")
 	maxRegress := flag.Float64("max-regress", 0, "with -diff: fail if a gated benchmark regresses by more than this percent (0 = report only)")
-	gateMetric := flag.String("gate-metric", "ns", "with -diff -max-regress: metric to gate on: ns | allocs")
+	gateMetric := flag.String("gate-metric", "ns", "with -diff -max-regress: metric to gate on: ns | allocs | cells (cells/sec; a decrease is the regression)")
+	batchHdr := flag.String("batch", "1,8", "-batch widths the recorded benchmark set exercises (snapshot header only)")
+	jIntraHdr := flag.String("j-intra", "0,8,auto", "-j-intra widths the recorded benchmark set exercises (snapshot header only)")
 	gateMatch := flag.String("gate-match", "", "with -diff -max-regress: regexp of benchmark names to gate (empty = all)")
 	flag.Parse()
 
@@ -108,6 +114,8 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		BenchTime:  *benchtime,
+		Batch:      *batchHdr,
+		JIntra:     *jIntraHdr,
 		Benchmarks: parse(&buf),
 	}
 	if len(f.Benchmarks) == 0 {
@@ -145,8 +153,8 @@ func buildGate(maxPct float64, metric, match string) (*gate, error) {
 	if maxPct <= 0 {
 		return nil, nil
 	}
-	if metric != "ns" && metric != "allocs" {
-		return nil, fmt.Errorf("unknown -gate-metric %q (ns | allocs)", metric)
+	if metric != "ns" && metric != "allocs" && metric != "cells" {
+		return nil, fmt.Errorf("unknown -gate-metric %q (ns | allocs | cells)", metric)
 	}
 	re, err := regexp.Compile(match)
 	if err != nil {
@@ -157,21 +165,41 @@ func buildGate(maxPct float64, metric, match string) (*gate, error) {
 
 // value extracts the gated metric from one result.
 func (g *gate) value(r Result) float64 {
-	if g.metric == "allocs" {
+	switch g.metric {
+	case "allocs":
 		return r.AllocsOp
+	case "cells":
+		return r.Metrics["cells/sec"]
 	}
 	return r.NsPerOp
 }
 
 // check returns a failure description when the old→new transition
-// regresses past the threshold, or "" when it passes. A metric that
-// was zero and became nonzero is an unconditional regression (allocs
-// appearing on a zero-alloc path has no finite percentage).
+// regresses past the threshold, or "" when it passes. For ns and
+// allocs, growth is the regression, and a metric that was zero and
+// became nonzero regresses unconditionally (allocs appearing on a
+// zero-alloc path has no finite percentage). For cells, throughput
+// shrinking is the regression, and a benchmark that stopped reporting
+// cells/sec regresses unconditionally.
 func (g *gate) check(or, nr Result) string {
 	if !g.match.MatchString(nr.Name) {
 		return ""
 	}
 	ov, nv := g.value(or), g.value(nr)
+	if g.metric == "cells" {
+		switch {
+		case ov == 0:
+			return "" // not in the old baseline: nothing to hold it to
+		case nv == 0:
+			return fmt.Sprintf("%s: cells/sec disappeared (%g -> 0)", nr.Name, ov)
+		default:
+			if pct := 100 * (ov - nv) / ov; pct > g.maxPct {
+				return fmt.Sprintf("%s: cells/sec regressed %+.1f%% (%g -> %g, limit %+.1f%%)",
+					nr.Name, pct, ov, nv, g.maxPct)
+			}
+		}
+		return ""
+	}
 	switch {
 	case ov == 0 && nv > 0:
 		return fmt.Sprintf("%s: %s/op grew from 0 to %g", nr.Name, g.metric, nv)

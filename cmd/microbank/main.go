@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,7 +41,8 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced workload sets and budgets")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		jobs   = flag.Int("j", 0, "parallel simulations per sweep (0 = all cores); output is identical at any -j")
-		jIntra = flag.Int("j-intra", 0, "worker threads inside each eligible simulation (windowed parallel engine); output is identical at any width")
+		jIntra = flag.String("j-intra", "0", "worker threads inside each eligible simulation (windowed parallel engine), or 'auto' to pick per run; output is identical at any width")
+		batch  = flag.Int("batch", 0, "advance up to B compatible sweep cells as one variant-batched lockstep run; results are byte-identical at any width (<=1 = off)")
 		beta   = flag.Float64("beta", 1.0, "activates per column access for fig1/fig6b")
 		wl     = flag.String("workload", "429.mcf", "workload for -exp run")
 		nw     = flag.Int("nw", 1, "wordline partitions for -exp run")
@@ -74,8 +76,13 @@ func main() {
 	)
 	flag.Parse()
 
+	intraWidth, err := parseJIntra(*jIntra)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbank:", err)
+		os.Exit(1)
+	}
 	o := experiments.Options{Instr: *instr, Cores: *cores, Quick: *quick, Seed: *seed,
-		Parallelism: *jobs, IntraParallelism: *jIntra}
+		Parallelism: *jobs, IntraParallelism: intraWidth, Batch: *batch, Exp: *exp}
 	if *progress {
 		o.Progress = heartbeat()
 	}
@@ -191,6 +198,20 @@ func main() {
 // buildResilience turns the resilience flags into an armed
 // *experiments.Resilience (nil when no flag asks for one, keeping the
 // zero-overhead fail-fast path) plus a journal-close function.
+// parseJIntra resolves the -j-intra flag: a numeric width, or "auto"
+// to let each run estimate whether the windowed engine can beat the
+// sequential one (system.IntraAuto).
+func parseJIntra(s string) (int, error) {
+	if s == "auto" {
+		return system.IntraAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -j-intra %q: want a width or 'auto'", s)
+	}
+	return n, nil
+}
+
 func buildResilience(exp string, o experiments.Options, failMode string, retries int,
 	timeout time.Duration, eventBudget uint64, journalPath string, resume bool,
 	inject string) (*experiments.Resilience, func() error, error) {

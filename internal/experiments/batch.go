@@ -1,0 +1,149 @@
+package experiments
+
+// Variant-batched sweep execution: mapSpecRuns is the spec-expressible
+// twin of mapRuns. Sweeps that can state each cell as a system.Spec up
+// front (the partition grids, the QoS matrix) route through it, and
+// with Options.Batch > 1 consecutive cells are advanced as one
+// lockstep batch (system.RunBatch): one shared workload front-end, one
+// contiguous bank-state arena, engines recycled through a pool.
+// Results are byte-identical to the unbatched path — same digests,
+// same journal keys, same reduction order, same error bytes — because
+// system.RunBatch reproduces each member's standalone event sequence
+// exactly and everything else here is plumbing.
+//
+// Composition rules, chosen to keep the resilient machinery intact:
+//
+//   - Groups are consecutive index ranges of width Batch. Each group is
+//     simulated at most once, memoized under a mutex, on whichever
+//     worker touches it first; with -j > 1 the effective sweep
+//     parallelism is ceil(cells/Batch) groups.
+//   - Per-cell limits still come from Options.limitsFor keyed by the
+//     campaign-global index, so fault injection lands on the same cells.
+//     Campaign-wide wall-clock budgets are scaled by the group width
+//     (lockstep members share wall time); injected limit faults
+//     (CheckEvents set) pass through untouched and still trip.
+//   - A cell consumed from a group is removed from the memo, so a
+//     MapPolicy retry of a failed/panicked cell re-runs it standalone —
+//     retries never replay a stale batched outcome.
+//   - Journal-resumed cells never invoke the run callback; their group
+//     may simulate them redundantly when a sibling cell needs the
+//     batch, producing identical (discarded) results.
+//   - A member panic recovered by system.RunBatch is re-raised in the
+//     owning cell's callback, preserving MapPolicy's per-cell panic
+//     attribution and digests.
+
+import (
+	"sync"
+	"time"
+
+	"microbank/internal/system"
+)
+
+// mapSpecRuns fans the jobs out like mapRuns, but takes the cells as
+// specs so eligible neighbors can share one variant-batched run. wrap
+// (optional) decorates a failed cell's error exactly as the unbatched
+// callback did, keeping failure-record bytes identical. Batching is
+// disabled — the classic per-cell path runs verbatim — when Batch <= 1,
+// when a campaign aggregator is attached (its per-cell observers are
+// incompatible with the shared front-end), or for single-cell sweeps.
+func mapSpecRuns[J any](o Options, jobs []J, specOf func(j J) system.Spec,
+	wrap func(j J, err error) error) ([]system.Result, []bool, error) {
+	if wrap == nil {
+		wrap = func(_ J, err error) error { return err }
+	}
+	if o.Batch <= 1 || o.Agg != nil || len(jobs) <= 1 {
+		return mapRunsIdx(o, jobs, func(env runEnv, _ int, j J) (system.Result, error) {
+			spec := specOf(j)
+			spec.Limits = env.lim
+			spec.Obs = env.obs
+			res, err := system.Run(spec)
+			if err != nil {
+				return system.Result{}, wrap(j, err)
+			}
+			return res, nil
+		})
+	}
+
+	specs := make([]system.Spec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = specOf(j)
+	}
+	groups := make([]*batchGroup, len(jobs))
+	for lo := 0; lo < len(jobs); lo += o.Batch {
+		hi := lo + o.Batch
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		g := &batchGroup{lo: lo, hi: hi, res: map[int]system.BatchResult{}}
+		for i := lo; i < hi; i++ {
+			groups[i] = g
+		}
+	}
+	return mapRunsIdx(o, jobs, func(env runEnv, i int, j J) (system.Result, error) {
+		// env.cell = sweepBase + i, so sweepBase aligns group members
+		// with their campaign-global limit/injection indices.
+		br, ok := groups[i].take(i, env.cell-i, specs, o)
+		if !ok {
+			// Already consumed once (this is a retry): standalone.
+			spec := specs[i]
+			spec.Limits = env.lim
+			br.Res, br.Err = system.Run(spec)
+		}
+		if br.Panic != nil {
+			panic(br.Panic)
+		}
+		if br.Err != nil {
+			return system.Result{}, wrap(j, br.Err)
+		}
+		return br.Res, nil
+	})
+}
+
+// batchGroup memoizes one lockstep batch over cells [lo, hi).
+type batchGroup struct {
+	lo, hi int
+	mu     sync.Mutex
+	done   bool
+	res    map[int]system.BatchResult
+}
+
+// take returns cell i's batched outcome, simulating the whole group on
+// first touch. sweepBase is the campaign-global index of cell 0 of the
+// sweep. The entry is removed on consumption so a later retry of the
+// same cell falls back to a standalone run (ok=false).
+func (g *batchGroup) take(i, sweepBase int, specs []system.Spec, o Options) (system.BatchResult, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.done {
+		g.done = true
+		width := g.hi - g.lo
+		sps := make([]system.Spec, width)
+		for m := range sps {
+			sps[m] = specs[g.lo+m]
+			sps[m].Limits = batchLimitsFor(o, sweepBase+g.lo+m, width)
+		}
+		for m, br := range system.RunBatch(sps) {
+			g.res[g.lo+m] = br
+		}
+	}
+	br, ok := g.res[i]
+	delete(g.res, i)
+	return br, ok
+}
+
+// batchLimitsFor derives a batched member's limits from the campaign
+// policy for global cell g. Campaign-wide wall-clock budgets (the -run-
+// timeout watchdog, CheckEvents zero) are scaled by the group width
+// because lockstep members share wall time — without scaling, a batch
+// of B healthy members would trip a per-run deadline B× too early.
+// Injected limit faults carry a CheckEvents marker and are meant to
+// trip; they pass through unscaled.
+func batchLimitsFor(o Options, g, width int) *system.Limits {
+	lim := o.limitsFor(g)
+	if lim == nil || lim.WallClock <= 0 || lim.CheckEvents != 0 || width <= 1 {
+		return lim
+	}
+	scaled := *lim
+	scaled.WallClock *= time.Duration(width)
+	return &scaled
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"microbank/internal/parallel"
+)
+
+// TestBatchedGridMatchesPlain: the fig8-style partition grid must
+// produce identical cells with batching off and at several widths,
+// including widths that do not divide the 25-cell sweep.
+func TestBatchedGridMatchesPlain(t *testing.T) {
+	base := Options{Quick: true, Instr: 4000, Seed: 42}
+	want, wantFailed, err := runGridCells("429.mcf", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFailed != nil {
+		t.Fatalf("plain sweep reported failures: %v", wantFailed)
+	}
+	for _, B := range []int{3, 8} {
+		o := base
+		o.Batch = B
+		o.Parallelism = 2
+		got, failed, err := runGridCells("429.mcf", o)
+		if err != nil {
+			t.Fatalf("B=%d: %v", B, err)
+		}
+		if failed != nil {
+			t.Fatalf("B=%d: batched sweep reported failures: %v", B, failed)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("B=%d: batched grid differs from plain sweep", B)
+		}
+	}
+}
+
+// TestBatchedQoSMatchesPlain covers the multicore spec path (specMulti)
+// end to end through the public sweep.
+func TestBatchedQoSMatchesPlain(t *testing.T) {
+	base := Options{Quick: true, Instr: 8000, Cores: 4, Seed: 42}
+	want, err := QoSSweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := base
+	o.Batch = 4
+	got, err := QoSSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched QoS sweep differs from plain:\nbatched: %+v\nplain:   %+v", got, want)
+	}
+}
+
+// TestBatchedResilientSweep: batching under the resilient machinery —
+// injected faults land on the same campaign cells, failed cells retry
+// standalone (the memo-miss path), and healthy cells stay identical.
+func TestBatchedResilientSweep(t *testing.T) {
+	mkRes := func() *Resilience {
+		r := &Resilience{Mode: parallel.FailDegrade, Retries: 1}
+		if err := r.SetInject("timeout:3,error:5"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := Options{Quick: true, Instr: 4000, Seed: 42}
+
+	plain := base
+	plain.Res = mkRes()
+	want, wantFailed, err := runGridCells("429.mcf", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := base
+	batched.Res = mkRes()
+	batched.Batch = 4
+	batched.Parallelism = 2
+	got, failed, err := runGridCells("429.mcf", batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(failed, wantFailed) {
+		t.Fatalf("failed-cell masks differ: batched %v, plain %v", failed, wantFailed)
+	}
+	if len(wantFailed) == 0 {
+		t.Fatal("injection did not fail any cell; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched resilient sweep differs from plain on healthy cells")
+	}
+}

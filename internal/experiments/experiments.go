@@ -13,6 +13,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -60,6 +62,22 @@ type Options struct {
 	// journaled resume. Nil selects the original fail-fast path with
 	// zero overhead.
 	Res *Resilience
+	// Batch groups up to this many compatible sweep cells into one
+	// variant-batched lockstep run (the -batch flag): members share one
+	// deterministic workload front-end and a contiguous bank-state
+	// arena while every member's Result stays byte-identical to its
+	// standalone sequential run. Cells the batch engine cannot cover
+	// (custom observers, intra-parallel-eligible runs, incompatible
+	// neighbors) fall back to standalone runs inside the group. Batch
+	// composes with Parallelism — each worker advances one group — and
+	// with the journal, which stays keyed per cell. Zero or one
+	// disables batching. Sweeps that are not spec-expressible (agg
+	// observation, bespoke reductions) ignore it.
+	Batch int
+	// Exp names the running experiment for profiling: every sweep cell
+	// executes under runtime/pprof labels (exp, cell, variant) so CPU
+	// profiles of a sweep attribute samples to individual cells.
+	Exp string
 	// Agg, when non-nil, feeds the live observability plane (-serve):
 	// every sweep cell runs with its own registry-only observer whose
 	// snapshot merges into the aggregator at the cell boundary, and
@@ -99,35 +117,47 @@ var Axis = []int{1, 2, 4, 8, 16}
 var RepresentativeConfigs = [][2]int{{1, 1}, {2, 8}, {4, 4}, {8, 2}}
 
 // runEnv is the per-cell execution environment mapRuns hands its run
-// callback: the cell's limits (resilient sweeps) and, when a campaign
-// aggregator is attached, the cell's registry-only observer. The zero
-// value reproduces the pre-observability behavior exactly.
+// callback: the cell's limits (resilient sweeps), when a campaign
+// aggregator is attached the cell's registry-only observer, and the
+// cell's campaign-global index (sweep base + cell — what limitsFor and
+// fault injection key on). The zero value reproduces the
+// pre-observability behavior exactly.
 type runEnv struct {
-	lim *system.Limits
-	obs *obs.Observer
+	lim  *system.Limits
+	obs  *obs.Observer
+	cell int
 }
 
-// runSingle executes a single-core, single-channel run (the paper's
-// setup for single-threaded SPEC and DB workloads). env carries the
-// cell's limits (watchdog deadline / event budget / cancellation) and
-// optional observer.
-func runSingle(name string, iface config.Interface, nW, nB int,
-	mut func(*config.System), o Options, env runEnv) (system.Result, error) {
+// specSingle builds the spec for a single-core, single-channel run
+// (the paper's setup for single-threaded SPEC and DB workloads).
+// Everything that determines results is set here; the per-cell
+// environment (limits, observer) is layered on by the caller.
+func specSingle(name string, iface config.Interface, nW, nB int,
+	mut func(*config.System), o Options) system.Spec {
 	sys := config.SingleCore(config.MemPreset(iface, nW, nB))
 	if mut != nil {
 		mut(&sys)
 	}
 	spec := system.UniformSpec(sys, workload.MustGet(name), o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
+	spec.IntraParallelism = o.IntraParallelism
+	return spec
+}
+
+// runSingle executes specSingle under the cell's environment (watchdog
+// deadline / event budget / cancellation, optional observer).
+func runSingle(name string, iface config.Interface, nW, nB int,
+	mut func(*config.System), o Options, env runEnv) (system.Result, error) {
+	spec := specSingle(name, iface, nW, nB, mut, o)
 	spec.Limits = env.lim
 	spec.Obs = env.obs
-	spec.IntraParallelism = o.IntraParallelism
 	return system.Run(spec)
 }
 
-// runMulti executes a multicore run with the full channel population.
-func runMulti(profileFor func(core int) workload.Profile, iface config.Interface,
-	nW, nB int, mut func(*config.System), o Options, env runEnv) (system.Result, error) {
+// specMulti builds the spec for a multicore run with the full channel
+// population.
+func specMulti(profileFor func(core int) workload.Profile, iface config.Interface,
+	nW, nB int, mut func(*config.System), o Options) system.Spec {
 	sys := config.DefaultSystem(config.MemPreset(iface, nW, nB))
 	sys.Cores = o.Cores
 	if mut != nil {
@@ -144,9 +174,17 @@ func runMulti(profileFor func(core int) workload.Profile, iface config.Interface
 	if instr < 4000 {
 		instr = 4000
 	}
-	spec := system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
-		WarmupInstr: instr / 2, Seed: o.Seed, Limits: env.lim, Obs: env.obs,
+	return system.Spec{Sys: sys, Profiles: profs, InstrPerCore: instr,
+		WarmupInstr: instr / 2, Seed: o.Seed,
 		IntraParallelism: o.IntraParallelism}
+}
+
+// runMulti executes specMulti under the cell's environment.
+func runMulti(profileFor func(core int) workload.Profile, iface config.Interface,
+	nW, nB int, mut func(*config.System), o Options, env runEnv) (system.Result, error) {
+	spec := specMulti(profileFor, iface, nW, nB, mut, o)
+	spec.Limits = env.lim
+	spec.Obs = env.obs
 	return system.Run(spec)
 }
 
@@ -260,6 +298,16 @@ type cellMetrics struct {
 // records, and under collect/degrade the sweep completes with failed
 // cells marked true in the mask (their Result is the zero value).
 func mapRuns[J any](o Options, jobs []J, run func(env runEnv, j J) (system.Result, error)) ([]system.Result, []bool, error) {
+	return mapRunsIdx(o, jobs, func(env runEnv, _ int, j J) (system.Result, error) {
+		return run(env, j)
+	})
+}
+
+// mapRunsIdx is mapRuns with the cell index handed to the callback —
+// the batched sweep path (mapSpecRuns) needs it to locate the cell's
+// lockstep group. Everything observable (digests, journal keys, error
+// bytes, reduction order) is identical to mapRuns.
+func mapRunsIdx[J any](o Options, jobs []J, run func(env runEnv, i int, j J) (system.Result, error)) ([]system.Result, []bool, error) {
 	total := len(jobs)
 	var done atomic.Int64
 	note := func() {
@@ -276,14 +324,18 @@ func mapRuns[J any](o Options, jobs []J, run func(env runEnv, j J) (system.Resul
 	// registry-only observer per cell (observation is read-only and
 	// keeps intra-parallel eligibility), with the boundary snapshot
 	// merged on success. With no aggregator the env is zero and this is
-	// the old call verbatim.
-	cellRun := func(lim *system.Limits, i int, j J) (system.Result, error) {
-		env := runEnv{lim: lim}
+	// the old call verbatim. g is the campaign-global cell index. Every
+	// cell executes under pprof labels so a CPU profile of a sweep
+	// attributes samples to individual cells and variants.
+	cellRun := func(lim *system.Limits, g, i int, j J) (res system.Result, err error) {
+		env := runEnv{lim: lim, cell: g}
 		if agg != nil {
 			env.obs = obs.NewObserver()
 			agg.CellStarted(aggSweep, i)
 		}
-		res, err := run(env, j)
+		pprof.Do(context.Background(), pprof.Labels(
+			"exp", o.Exp, "cell", strconv.Itoa(g), "variant", fmt.Sprintf("%+v", j)),
+			func(context.Context) { res, err = run(env, i, j) })
 		if agg != nil && err == nil {
 			agg.CellDone(aggSweep, i, env.obs.Registry.Gather())
 		}
@@ -296,7 +348,7 @@ func mapRuns[J any](o Options, jobs []J, run func(env runEnv, j J) (system.Resul
 	if o.Res == nil {
 		res, err := parallel.Map(context.Background(), o.Parallelism, idx,
 			func(_ context.Context, i int) (system.Result, error) {
-				r, err := cellRun(nil, i, jobs[i])
+				r, err := cellRun(nil, i, i, jobs[i])
 				if err == nil {
 					note()
 				}
@@ -351,7 +403,7 @@ func mapRuns[J any](o Options, jobs []J, run func(env runEnv, j J) (system.Resul
 					return system.Result{}, errInjectedTransient
 				}
 			}
-			res, rerr := cellRun(o.limitsFor(g), i, jobs[i])
+			res, rerr := cellRun(o.limitsFor(g), g, i, jobs[i])
 			if rerr != nil {
 				return system.Result{}, rerr
 			}
@@ -396,13 +448,13 @@ func runGridCells(name string, o Options) (map[[2]int]cellMetrics, map[[2]int]bo
 			jobs = append(jobs, [2]int{nW, nB})
 		}
 	}
-	results, failed, err := mapRuns(o, jobs, func(env runEnv, cfg [2]int) (system.Result, error) {
-		res, rerr := runSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o, env)
-		if rerr != nil {
-			return system.Result{}, fmt.Errorf("%s (%d,%d): %w", name, cfg[0], cfg[1], rerr)
-		}
-		return res, nil
-	})
+	results, failed, err := mapSpecRuns(o, jobs,
+		func(cfg [2]int) system.Spec {
+			return specSingle(name, config.LPDDRTSI, cfg[0], cfg[1], nil, o)
+		},
+		func(cfg [2]int, rerr error) error {
+			return fmt.Errorf("%s (%d,%d): %w", name, cfg[0], cfg[1], rerr)
+		})
 	if err != nil {
 		return nil, nil, err
 	}

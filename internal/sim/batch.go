@@ -1,0 +1,96 @@
+package sim
+
+// Lockstep batch driver: advances B independent member engines — one
+// per sweep variant — in shared epochs, so a sweep becomes one
+// cache-friendly pass over B machines instead of B sequential runs.
+// Each member keeps its own virtual clock; an epoch picks the earliest
+// pending instant across live members (the horizon) and lets every
+// member with due work run up to horizon+epoch via RunUntil. Interleaving
+// members at epoch granularity keeps each variant's working set (its
+// slab, heap, bank-state rows) resident while the batch sweeps time
+// forward together, which is where the cache locality of the batched
+// engine comes from.
+//
+// Correctness does not depend on the epoch length: members never
+// exchange events, each fires its own queue in its own deterministic
+// (when, priority, seq) order, and RunUntil's clock advance to the
+// window deadline is invisible to the model (callbacks only observe
+// Now() at event instants, which batching does not move). Every member
+// therefore produces exactly the event sequence of its standalone run.
+
+// DefaultBatchEpoch is the lockstep window used when the caller passes
+// zero: 1 µs of simulated time is a few thousand events for a loaded
+// headline-class machine — long enough to amortize the member switch,
+// short enough that members stay within one another's cache footprint.
+const DefaultBatchEpoch = Microsecond
+
+// RunBatch drives the member engines in lockstep epochs until each has
+// drained its queue, halted, or been stopped by its control hook. The
+// returned slice holds each member's stop cause (nil for a normal
+// drain or plain Halt). Nil members are skipped, so callers that
+// pre-filter ineligible variants can keep slot indices stable.
+func RunBatch(engs []*Engine, epoch Time) []error {
+	if epoch == 0 {
+		epoch = DefaultBatchEpoch
+	}
+	errs := make([]error, len(engs))
+	done := make([]bool, len(engs))
+	for i, e := range engs {
+		if e == nil {
+			done[i] = true
+		}
+	}
+	for {
+		// Horizon: earliest pending instant across live members. Members
+		// with empty queues are finished (their machines schedule every
+		// future obligation as an event).
+		horizon := Never
+		for i, e := range engs {
+			if done[i] {
+				continue
+			}
+			t, ok := e.NextTime()
+			if !ok {
+				done[i] = true
+				continue
+			}
+			if t < horizon {
+				horizon = t
+			}
+		}
+		if horizon == Never {
+			return errs
+		}
+		deadline := horizon + epoch
+		for i, e := range engs {
+			if done[i] {
+				continue
+			}
+			if t, ok := e.NextTime(); !ok || t > deadline {
+				// Nothing due this window; the member keeps its clock and
+				// rejoins when the horizon reaches its next event.
+				continue
+			}
+			fin, err := BatchAdvance(e, deadline)
+			if err != nil {
+				errs[i] = err
+			}
+			if fin {
+				done[i] = true
+			}
+		}
+	}
+}
+
+// BatchAdvance runs one member's lockstep window for an external batch
+// driver (system.RunBatch wraps it with per-member panic isolation). It
+// reports whether the member is finished — control-hook stop (err is
+// the stop cause), Halt, or a drained queue — after which the driver
+// must not advance it again, which also keeps StopCause readable.
+func BatchAdvance(e *Engine, deadline Time) (finished bool, err error) {
+	e.RunUntil(deadline)
+	if e.stopCause != nil {
+		return true, e.stopCause
+	}
+	return e.halted || len(e.queue) == 0, nil
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRunBatchLockstep: members fire their own queues in their own
+// order, chained scheduling works across epoch boundaries, and the
+// driver returns once every member drains.
+func TestRunBatchLockstep(t *testing.T) {
+	const n = 3
+	engs := make([]*Engine, n)
+	var order [n][]Time
+	for i := range engs {
+		engs[i] = NewEngine()
+		i := i
+		// Chain far past one epoch so every member crosses several
+		// lockstep windows.
+		var step func(e *Engine)
+		step = func(e *Engine) {
+			order[i] = append(order[i], e.Now())
+			if len(order[i]) < 5 {
+				e.Schedule(e.Now()+Time(i+1)*DefaultBatchEpoch/2+1, step)
+			}
+		}
+		engs[i].Schedule(Time(i)*7+1, step)
+	}
+	errs := RunBatch(engs, 0)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if len(order[i]) != 5 {
+			t.Fatalf("member %d fired %d events, want 5", i, len(order[i]))
+		}
+		for k := 1; k < len(order[i]); k++ {
+			if order[i][k] <= order[i][k-1] {
+				t.Fatalf("member %d fired out of order: %v", i, order[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchStopCause: a control-hook stop retires only that member
+// and surfaces as its error; the other member runs to completion.
+func TestRunBatchStopCause(t *testing.T) {
+	limit := errors.New("budget")
+	a, b := NewEngine(), NewEngine()
+	var tick func(e *Engine)
+	tick = func(e *Engine) { e.Schedule(e.Now()+1, tick) }
+	a.Schedule(1, tick)
+	a.SetControl(10, func(*Engine) error { return limit })
+
+	fired := 0
+	b.Schedule(1, func(*Engine) { fired++ })
+	b.Schedule(2*DefaultBatchEpoch, func(*Engine) { fired++ })
+
+	errs := RunBatch([]*Engine{a, nil, b}, 0)
+	if !errors.Is(errs[0], limit) {
+		t.Fatalf("member 0 err = %v, want control-hook stop", errs[0])
+	}
+	if a.StopCause() == nil {
+		t.Fatal("StopCause cleared after member retirement")
+	}
+	if errs[1] != nil || errs[2] != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if fired != 2 {
+		t.Fatalf("member 2 fired %d events, want 2", fired)
+	}
+}
+
+// TestResetPoolSemantics: Reset must restore post-NewEngine behavior —
+// zeroed clock/counters, recycled slab with invalidated handles, and a
+// disarmed control hook.
+func TestResetPoolSemantics(t *testing.T) {
+	e := NewEngine()
+	calls := 0
+	e.SetControl(1, func(*Engine) error { calls++; return nil })
+	ev := e.Schedule(5, func(*Engine) {})
+	e.ScheduleArg(7, func(*Engine, any) {}, 99)
+	e.Run()
+	if calls == 0 {
+		t.Fatal("control hook never ran before reset")
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Fired() != 0 || e.Pending() != 0 || e.StopCause() != nil {
+		t.Fatalf("reset state: now=%d fired=%d pending=%d cause=%v",
+			e.Now(), e.Fired(), e.Pending(), e.StopCause())
+	}
+	if ev.Pending() || !ev.Cancelled() {
+		t.Fatal("pre-reset handle still live")
+	}
+	hookCalls := calls
+	ran := false
+	e.Schedule(3, func(*Engine) { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("post-reset event did not fire")
+	}
+	if calls != hookCalls {
+		t.Fatal("control hook survived Reset")
+	}
+	// Reset with events still queued: handles invalidate, slab recycles.
+	ev2 := e.Schedule(50, func(*Engine) { t.Fatal("stale event fired") })
+	e.Reset()
+	if ev2.Pending() {
+		t.Fatal("queued handle survived Reset")
+	}
+	e.Run()
+}

@@ -526,6 +526,42 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	return e.fired - start
 }
 
+// Reset returns the engine to its post-NewEngine state while keeping
+// the slab, heap, and free-list storage warm, so a pooled engine can be
+// reused across runs without re-growing its arenas (the slab and heap
+// reach steady-state size within one run; reallocating them per sweep
+// cell is a measurable fraction of short Quick-fidelity cells). Every
+// record's generation is bumped — handles held by the previous machine
+// become permanent no-ops, exactly as if their events had fired — and
+// the callback fields are cleared so the retired machine's object graph
+// is not kept alive across runs. Reset on a parallel-domain engine
+// panics: Windowed owns those engines' lifecycle.
+func (e *Engine) Reset() {
+	if e.par != nil {
+		panic("sim: Reset on a parallel-domain engine")
+	}
+	e.queue = e.queue[:0]
+	for i := range e.records {
+		rec := &e.records[i]
+		rec.gen++
+		rec.fn, rec.argFn, rec.arg = nil, nil, nil
+	}
+	// Rebuild the free list so alloc hands out ids 0,1,2,... like a
+	// fresh engine (ids never affect event order, but keeping the
+	// pattern identical makes slab layouts comparable across runs).
+	if cap(e.free) < len(e.records) {
+		e.free = make([]int32, len(e.records))
+	}
+	e.free = e.free[:len(e.records)]
+	for i := range e.free {
+		e.free[i] = int32(len(e.records) - 1 - i)
+	}
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.halted = false
+	e.stopCause = nil
+	e.ctrlFn, e.ctrlEvery, e.ctrlNext = nil, 0, noControl
+}
+
 // Clock converts between a fixed-period clock domain and absolute time.
 type Clock struct {
 	period Time

@@ -1,0 +1,304 @@
+package system
+
+// Variant-batched simulation: RunBatch drives B sweep cells that share
+// one workload definition as a single lockstep pass. Each member is a
+// complete sequential machine (its own engine, caches, controllers),
+// but the batch shares the two things that are provably
+// timing-independent and allocation-heavy:
+//
+//   - the workload front-end: per-thread request streams are generated
+//     once per batch (workload.StreamSet) and replayed to every member
+//     through cursors, because Synthetic draws only from stream-local
+//     randomness — no timing feedback reaches the generator. Per-core
+//     dependence draws (cpu) ARE timing-coupled and stay per-member.
+//   - the bank-state backing store: every member's DRAM and controller
+//     bank arrays are carved variant-major out of one contiguous arena
+//     (dram.Arena / memctrl.Arena), so the lockstep epochs sweep
+//     adjacent memory instead of B scattered heaps.
+//
+// Member engines come from a Reset-based pool, so a sweep's steady
+// state stops paying slab/heap/arena regrowth per cell.
+//
+// Every member produces the exact event sequence of its standalone
+// sequential run — same engine, same build order, same streams — so
+// results are byte-identical (TestBatchMatchesSequentialRandom and the
+// golden batched-width fixtures assert it). Specs the sharing cannot
+// cover (custom generators, per-run observers, intra-parallel-eligible
+// runs, or members incompatible with the batch head) fall back to
+// standalone Run, mirroring PR 6's sequential fallback.
+
+import (
+	"runtime"
+	"sync"
+
+	"fmt"
+
+	"microbank/internal/dram"
+	"microbank/internal/memctrl"
+	"microbank/internal/sim"
+	"microbank/internal/workload"
+)
+
+// batchEpoch is the system-level lockstep epoch (see runLockstep for
+// the rationale; any epoch is bit-exact, this one is just fast).
+const batchEpoch = 256 * sim.Microsecond
+
+// batchEnv carries the resources a batched build shares across variant
+// machines: the pooled engine and the bank-state arena. Mutually
+// exclusive with a parallel (par) build.
+type batchEnv struct {
+	eng   *sim.Engine
+	arena *memctrl.Arena
+}
+
+// ctlArena is nil-safe so build's sequential path stays a plain
+// memctrl.New.
+func (e *batchEnv) ctlArena() *memctrl.Arena {
+	if e == nil {
+		return nil
+	}
+	return e.arena
+}
+
+// enginePool recycles engines across runs: Reset keeps the slab, heap,
+// and free list warm, which short Quick-fidelity sweep cells otherwise
+// re-grow from scratch every run.
+var enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
+
+func getEngine() *sim.Engine { return enginePool.Get().(*sim.Engine) }
+
+func putEngine(e *sim.Engine) {
+	e.Reset()
+	enginePool.Put(e)
+}
+
+// BatchResult is one member's outcome from RunBatch: exactly what
+// standalone Run would have returned, plus a recovered panic value when
+// the member's model panicked mid-run (Res/Err are meaningless then;
+// the caller decides where to re-raise it so sweep-cell attribution is
+// preserved).
+type BatchResult struct {
+	Res   Result
+	Err   error
+	Panic any
+}
+
+// batchable reports whether a spec can join a lockstep batch at all:
+// the shared front-end requires the default synthetic generators, no
+// per-run observers (the obs wiring is per-cell in sweeps and its
+// lifecycle assumes one run per observer), and a spec that would take
+// the intra-parallel path keeps it via the standalone fallback.
+func batchable(s *Spec) bool {
+	return s.GeneratorFor == nil && s.Obs == nil && s.WinTrace == nil && !s.intraEligible()
+}
+
+// BatchCompatible reports whether two specs can share one workload
+// front-end: identical core count, per-core profiles, seed, and
+// instruction budgets. Everything else — memory organization, timing,
+// controller policy, interleaving — may differ freely; that is the
+// sweep axis batching accelerates.
+func BatchCompatible(a, b Spec) bool {
+	if a.Sys.Cores != b.Sys.Cores || len(a.Profiles) != len(b.Profiles) {
+		return false
+	}
+	for i := range a.Profiles {
+		if a.Profiles[i] != b.Profiles[i] {
+			return false
+		}
+	}
+	return a.Seed == b.Seed &&
+		a.InstrPerCore == b.InstrPerCore &&
+		a.WarmupInstr == b.WarmupInstr
+}
+
+// RunBatch runs the specs as one variant batch: eligible, mutually
+// compatible members advance in lockstep epochs over shared streams and
+// arenas; every other spec falls back to standalone Run in place. The
+// result slice is indexed like specs.
+func RunBatch(specs []Spec) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	members := make([]int, 0, len(specs))
+	var head *Spec
+	for i := range specs {
+		if err := specs[i].validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if !batchable(&specs[i]) || (head != nil && !BatchCompatible(*head, specs[i])) {
+			out[i].Res, out[i].Err = Run(specs[i])
+			continue
+		}
+		if head == nil {
+			head = &specs[i]
+		}
+		members = append(members, i)
+	}
+	switch len(members) {
+	case 0:
+		return out
+	case 1:
+		i := members[0]
+		out[i].Res, out[i].Err = Run(specs[i])
+		return out
+	}
+	runLockstep(specs, members, out)
+	return out
+}
+
+// runLockstep builds every member machine over the shared front-end and
+// arena, then advances them in lockstep epochs until each drains, trips
+// its watchdog, or panics (panics are isolated per member: the others
+// keep running, exactly as independent sweep cells would).
+func runLockstep(specs []Spec, members []int, out []BatchResult) {
+	head := specs[members[0]]
+	streams := workload.NewStreamSet(head.Profiles, head.Seed)
+
+	slots := 0
+	for _, i := range members {
+		slots += specs[i].Sys.Mem.Org.Channels * dram.BanksPerChannel(specs[i].Sys.Mem)
+	}
+	arena := memctrl.NewArena(slots)
+
+	machines := make([]*machine, len(members))
+	engs := make([]*sim.Engine, len(members))
+	done := make([]bool, len(members))
+	for k, i := range members {
+		sp := specs[i]
+		sp.GeneratorFor = func(core int) workload.Generator { return streams.Cursor(core) }
+		eng := getEngine()
+		m := build(sp, nil, &batchEnv{eng: eng, arena: arena})
+		if sp.Limits.armed() {
+			m.armWatchdog(sp.Limits)
+		}
+		for _, c := range m.cores {
+			c.Start()
+		}
+		machines[k], engs[k] = m, eng
+	}
+
+	// Lockstep epochs (see sim.RunBatch for the pure-kernel twin): each
+	// round advances every member with due work up to the earliest
+	// pending instant plus one epoch.
+	//
+	// The epoch here is much coarser than the kernel default. Members
+	// share only read-mostly state (the stream recordings; arena slots
+	// are private), so fine interleaving buys no sharing — it only
+	// cycles B cache-sized machine working sets through the same L1/L2.
+	// Measured on the sweep benchmarks, 1 µs epochs cost ~10% over
+	// sequential; at 256 µs a quick- or full-fidelity cell (~10–150 µs
+	// of simulated time) completes in one round while very long runs
+	// still interleave with bounded per-member rounds.
+	for {
+		horizon := sim.Never
+		for k, e := range engs {
+			if done[k] {
+				continue
+			}
+			t, ok := e.NextTime()
+			if !ok {
+				done[k] = true
+				continue
+			}
+			if t < horizon {
+				horizon = t
+			}
+		}
+		if horizon == sim.Never {
+			break
+		}
+		deadline := horizon + batchEpoch
+		for k, e := range engs {
+			if done[k] {
+				continue
+			}
+			if t, ok := e.NextTime(); !ok || t > deadline {
+				continue
+			}
+			fin, _, pv := advanceMember(e, deadline)
+			if pv != nil {
+				out[members[k]].Panic = pv
+				done[k] = true
+				continue
+			}
+			if fin {
+				done[k] = true
+			}
+		}
+	}
+
+	// Per-member epilogue, mirroring Run's exactly.
+	for k, i := range members {
+		if out[i].Panic != nil {
+			continue // engine state unknown; do not recycle
+		}
+		m := machines[k]
+		switch {
+		case engs[k].StopCause() != nil:
+			out[i].Err = engs[k].StopCause()
+		case m.finished != len(m.cores):
+			out[i].Err = &LimitError{Kind: LimitStall,
+				Msg:  fmt.Sprintf("stalled with %d/%d cores finished (events drained)", m.finished, len(m.cores)),
+				Diag: m.diag()}
+		default:
+			out[i].Res = m.collect()
+		}
+		putEngine(engs[k])
+	}
+}
+
+// advanceMember is sim.BatchAdvance under a recover: a panicking member
+// (model bug, injected fault) must not take the rest of the batch down.
+func advanceMember(e *sim.Engine, deadline sim.Time) (finished bool, err error, pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			finished, pv = true, r
+		}
+	}()
+	finished, err = sim.BatchAdvance(e, deadline)
+	return
+}
+
+// IntraAuto as Spec.IntraParallelism requests automatic intra-run width
+// selection: Run estimates the events-per-window each domain would
+// carry and falls back to the sequential engine when the windowed
+// engine cannot win (see autoIntraWidth).
+const IntraAuto = -1
+
+// autoIntraMinEventsPerWindow is the break-even estimate for the
+// windowed engine: PR 6 measured its width-1 barrier/merge overhead at
+// ~47% of a headline window's work with only a handful of events per
+// domain per window, so windows need a couple hundred events per domain
+// before parallel execution can amortize the barrier. The headline
+// machine (16 cores @ 500 ps, 2 ns hop window, 8 domains) estimates at
+// ~16 — firmly sequential.
+const autoIntraMinEventsPerWindow = 256
+
+// autoIntraWidth resolves IntraAuto at partition time: sequential when
+// the host has no spare workers or the per-domain window occupancy is
+// below the barrier amortization threshold, else the domain count
+// clamped to GOMAXPROCS (the shared worker-token budget does the final
+// clamp at run time).
+func autoIntraWidth(spec *Spec) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		return 1
+	}
+	sys := spec.Sys
+	clusters := (sys.Cores + sys.CoresPerL2 - 1) / sys.CoresPerL2
+	doms := clusters + sys.Mem.Org.Channels
+	if doms < 2 {
+		return 1
+	}
+	// Events per window per domain, estimated at one event per core
+	// cycle spread over the domains — an upper bound on how much work a
+	// NoCHopPS-wide window can hold.
+	perDom := float64(sys.Cores) * float64(sys.NoCHopPS) /
+		float64(sys.CoreClock().Period()) / float64(doms)
+	if perDom < autoIntraMinEventsPerWindow {
+		return 1
+	}
+	if doms < procs {
+		return doms
+	}
+	return procs
+}

@@ -1,0 +1,173 @@
+package system
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"microbank/internal/config"
+	"microbank/internal/sim"
+	"microbank/internal/workload"
+)
+
+// TestBatchMatchesSequentialRandom is the tentpole proof obligation:
+// across random memory organizations × schedulers × batch widths, every
+// batched member's Result must equal its standalone sequential run
+// exactly (reflect.DeepEqual covers every metric down to the per-thread
+// latency histogram buckets). CI runs this under -race.
+func TestBatchMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"429.mcf", "470.lbm", "TPC-H", "433.milc", "462.libquantum"}
+	dims := []int{1, 2, 4, 8, 16}
+	scheds := []config.Scheduler{config.SchedFCFS, config.SchedFRFCFS, config.SchedPARBS}
+
+	for round := 0; round < 4; round++ {
+		for _, B := range []int{2, 4, 8} {
+			name := names[rng.Intn(len(names))]
+			seed := int64(1 + rng.Intn(500))
+			multicore := rng.Intn(2) == 1
+
+			specs := make([]Spec, B)
+			for j := range specs {
+				mem := config.MemPreset(config.LPDDRTSI, dims[rng.Intn(len(dims))], dims[rng.Intn(len(dims))])
+				var sys config.System
+				if multicore {
+					sys = config.DefaultSystem(mem)
+					sys.Cores = 4
+				} else {
+					sys = config.SingleCore(mem)
+				}
+				sys.Ctrl.Scheduler = scheds[rng.Intn(len(scheds))]
+				if rng.Intn(3) == 0 {
+					sys.Ctrl.XORBankHash = !sys.Ctrl.XORBankHash
+				}
+				if rng.Intn(4) == 0 {
+					sys.Mem.Org.SubarraysPerBank = 4
+				}
+				if rng.Intn(4) == 0 {
+					sys.Ctrl.BankBudget = 4
+				}
+				prof := workload.MustGet(name)
+				profs := make([]workload.Profile, sys.Cores)
+				for c := range profs {
+					profs[c] = prof
+				}
+				specs[j] = Spec{Sys: sys, Profiles: profs,
+					InstrPerCore: 3000, WarmupInstr: 1000, Seed: seed}
+			}
+
+			batched := RunBatch(append([]Spec(nil), specs...))
+			for j := range specs {
+				want, wantErr := Run(specs[j])
+				got := batched[j]
+				if got.Panic != nil {
+					t.Fatalf("B=%d member %d: batched run panicked: %v", B, j, got.Panic)
+				}
+				if (got.Err == nil) != (wantErr == nil) {
+					t.Fatalf("B=%d member %d: err %v vs sequential %v", B, j, got.Err, wantErr)
+				}
+				if !reflect.DeepEqual(got.Res, want) {
+					t.Errorf("B=%d member %d (%s seed %d): batched Result differs from sequential\nbatched:    %+v\nsequential: %+v",
+						B, j, name, seed, got.Res, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchFallbacks: members the shared front-end cannot cover fall
+// back to standalone runs with identical results, and invalid specs
+// report the same validation error as Run.
+func TestBatchFallbacks(t *testing.T) {
+	mkSpec := func(name string, seed int64) Spec {
+		sys := config.SingleCore(config.MemPreset(config.LPDDRTSI, 2, 8))
+		return Spec{Sys: sys, Profiles: []workload.Profile{workload.MustGet(name)},
+			InstrPerCore: 2000, WarmupInstr: 500, Seed: seed}
+	}
+	specs := []Spec{
+		mkSpec("429.mcf", 42),
+		mkSpec("429.mcf", 42),
+		mkSpec("470.lbm", 42), // different profile: incompatible with head
+		mkSpec("429.mcf", 7),  // different seed: incompatible with head
+		{},                    // invalid: fails validation
+	}
+	got := RunBatch(append([]Spec(nil), specs...))
+	for i := 0; i < 4; i++ {
+		want, err := Run(specs[i])
+		if err != nil {
+			t.Fatalf("sequential run %d: %v", i, err)
+		}
+		if got[i].Err != nil || got[i].Panic != nil {
+			t.Fatalf("member %d: err=%v panic=%v", i, got[i].Err, got[i].Panic)
+		}
+		if !reflect.DeepEqual(got[i].Res, want) {
+			t.Errorf("member %d: batched result differs from sequential", i)
+		}
+	}
+	if got[4].Err == nil {
+		t.Errorf("invalid member: expected validation error, got none")
+	}
+}
+
+// TestBatchSingleMemberAndEmpty covers the degenerate widths.
+func TestBatchSingleMemberAndEmpty(t *testing.T) {
+	if res := RunBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	sys := config.SingleCore(config.MemPreset(config.DDR3PCB, 1, 1))
+	spec := Spec{Sys: sys, Profiles: []workload.Profile{workload.MustGet("429.mcf")},
+		InstrPerCore: 2000, WarmupInstr: 500, Seed: 3}
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RunBatch([]Spec{spec})
+	if got[0].Err != nil || !reflect.DeepEqual(got[0].Res, want) {
+		t.Fatalf("single-member batch differs from sequential (err=%v)", got[0].Err)
+	}
+}
+
+// TestEngineResetReuse: a pooled, Reset engine must behave exactly like
+// a fresh one — stale handles are no-ops, counters restart, and a
+// second run over the same spec is byte-identical.
+func TestEngineResetReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	fired := 0
+	ev := eng.Schedule(10, func(*sim.Engine) { fired++ })
+	eng.Schedule(20, func(*sim.Engine) { fired++ })
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d before reset", fired)
+	}
+	eng.Reset()
+	if eng.Now() != 0 || eng.Pending() != 0 || eng.Fired() != 0 {
+		t.Fatalf("reset left now=%d pending=%d fired=%d", eng.Now(), eng.Pending(), eng.Fired())
+	}
+	if ev.Pending() {
+		t.Fatal("stale handle pending after reset")
+	}
+	eng.Cancel(ev) // must be a no-op, not a corruption
+	eng.Schedule(5, func(*sim.Engine) { fired++ })
+	eng.Run()
+	if fired != 3 {
+		t.Fatalf("fired %d after reset", fired)
+	}
+
+	// End-to-end: run the same spec twice through the batch path (which
+	// recycles engines through the pool) and once sequentially.
+	sys := config.SingleCore(config.MemPreset(config.LPDDRTSI, 2, 8))
+	spec := Spec{Sys: sys, Profiles: []workload.Profile{workload.MustGet("429.mcf")},
+		InstrPerCore: 2000, WarmupInstr: 500, Seed: 9}
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got := RunBatch([]Spec{spec, spec})
+		for j := range got {
+			if got[j].Err != nil || !reflect.DeepEqual(got[j].Res, want) {
+				t.Fatalf("round %d member %d differs (err=%v)", round, j, got[j].Err)
+			}
+		}
+	}
+}

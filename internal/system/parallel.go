@@ -606,7 +606,7 @@ func runIntra(spec Spec) (Result, error) {
 		dirs:     make([][]*cache.Directory, channels),
 	}
 	p.sorter = &sendSorter{&p.replay}
-	m := build(spec, p)
+	m := build(spec, p, nil)
 	p.m = m
 	if spec.WarmupInstr > 0 {
 		p.armWarm()

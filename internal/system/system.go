@@ -356,22 +356,16 @@ func subStats(a, b memctrl.Stats) memctrl.Stats {
 // its instruction budget. It returns an error if the simulation stops
 // making progress before completion (a model bug, not a user error).
 func Run(spec Spec) (Result, error) {
-	if err := spec.Sys.Validate(); err != nil {
-		return Result{}, fmt.Errorf("system: %w", err)
+	if err := spec.validate(); err != nil {
+		return Result{}, err
 	}
-	if len(spec.Profiles) != spec.Sys.Cores {
-		return Result{}, fmt.Errorf("system: %d profiles for %d cores", len(spec.Profiles), spec.Sys.Cores)
-	}
-	if spec.InstrPerCore == 0 {
-		return Result{}, fmt.Errorf("system: zero instruction budget")
-	}
-	if spec.WarmupInstr >= spec.InstrPerCore {
-		return Result{}, fmt.Errorf("system: warm-up %d >= budget %d", spec.WarmupInstr, spec.InstrPerCore)
+	if spec.IntraParallelism == IntraAuto {
+		spec.IntraParallelism = autoIntraWidth(&spec)
 	}
 	if spec.intraEligible() {
 		return runIntra(spec)
 	}
-	m := build(spec, nil)
+	m := build(spec, nil, nil)
 	if spec.Obs != nil {
 		m.wireObs(spec.Obs)
 		if spec.Obs.Sampler != nil {
@@ -396,19 +390,42 @@ func Run(spec Spec) (Result, error) {
 	return m.collect(), nil
 }
 
+// validate is Run's prologue check, shared with RunBatch so batched
+// members reject exactly the specs a standalone run would.
+func (s *Spec) validate() error {
+	if err := s.Sys.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if len(s.Profiles) != s.Sys.Cores {
+		return fmt.Errorf("system: %d profiles for %d cores", len(s.Profiles), s.Sys.Cores)
+	}
+	if s.InstrPerCore == 0 {
+		return fmt.Errorf("system: zero instruction budget")
+	}
+	if s.WarmupInstr >= s.InstrPerCore {
+		return fmt.Errorf("system: warm-up %d >= budget %d", s.WarmupInstr, s.InstrPerCore)
+	}
+	return nil
+}
+
 // build assembles the machine. A non-nil par places each component on
 // its domain's engine (clusters and channels in the same index order as
 // runIntra) but otherwise constructs in the exact sequential order, so
-// build-time events carry identical keys.
-func build(spec Spec, par *parRun) *machine {
+// build-time events carry identical keys. A non-nil env (batched
+// builds; mutually exclusive with par) supplies the pooled engine and
+// the structure-of-arrays bank-state arena shared by the batch.
+func build(spec Spec, par *parRun, env *batchEnv) *machine {
 	sys := spec.Sys
 	clusters := (sys.Cores + sys.CoresPerL2 - 1) / sys.CoresPerL2
 	channels := sys.Mem.Org.Channels
 	var eng *sim.Engine
-	if par == nil {
-		eng = sim.NewEngine()
-	} else {
+	switch {
+	case par != nil:
 		eng = par.engs[0]
+	case env != nil:
+		eng = env.eng
+	default:
+		eng = sim.NewEngine()
 	}
 	clEng := func(cl int) *sim.Engine {
 		if par == nil {
@@ -442,7 +459,7 @@ func build(spec Spec, par *parRun) *machine {
 
 	retire := m.reqRetired
 	for ch := 0; ch < channels; ch++ {
-		ctl := memctrl.New(chEng(ch), sys.Mem, sys.Ctrl, sys.Cores)
+		ctl := memctrl.NewWith(chEng(ch), sys.Mem, sys.Ctrl, sys.Cores, env.ctlArena())
 		ctl.OnRetire = retire
 		m.ctrls = append(m.ctrls, ctl)
 		if par != nil {

@@ -1,0 +1,71 @@
+package workload
+
+// StreamSet is the shared deterministic workload front-end for batched
+// sweeps: each core's synthetic stream is generated once, in stream
+// order, and replayed to every variant machine through per-variant
+// Cursors. Sharing is sound because Synthetic.Next draws only from the
+// stream's own rng — no timing feedback reaches the generator — so the
+// sequence a standalone run would draw is identical for every variant.
+// (Per-core dependence draws live in the CPU model, which each variant
+// still simulates privately: those ARE timing-coupled.)
+//
+// The recording is lazily extended: whichever cursor first reads past
+// the recorded tail generates forward from the owned Synthetic, so
+// variants that consume different prefix lengths (they retire the same
+// instruction budget at different speeds and the fastest cell stops
+// first) never diverge — later reads of the same index replay the same
+// (gap, Access).
+//
+// A StreamSet is NOT safe for concurrent use; the batch driver advances
+// all member machines on one goroutine.
+type StreamSet struct {
+	streams []*sharedStream
+}
+
+type sharedStream struct {
+	src  *Synthetic
+	gaps []int
+	accs []Access
+}
+
+// NewStreamSet builds one recorded stream per core, constructed exactly
+// as a standalone run would (NewSynthetic(p, core%63, seed)).
+func NewStreamSet(profiles []Profile, seed int64) *StreamSet {
+	ss := &StreamSet{streams: make([]*sharedStream, len(profiles))}
+	for core, p := range profiles {
+		ss.streams[core] = &sharedStream{src: NewSynthetic(p, core%63, seed)}
+	}
+	return ss
+}
+
+// Cores returns the number of per-core streams in the set.
+func (ss *StreamSet) Cores() int { return len(ss.streams) }
+
+// Cursor returns a fresh replay Generator over core's recorded stream.
+// Each variant machine gets its own cursor per core.
+func (ss *StreamSet) Cursor(core int) *Cursor {
+	return &Cursor{s: ss.streams[core]}
+}
+
+func (st *sharedStream) at(i int) (int, Access) {
+	for len(st.gaps) <= i {
+		g, a := st.src.Next()
+		st.gaps = append(st.gaps, g)
+		st.accs = append(st.accs, a)
+	}
+	return st.gaps[i], st.accs[i]
+}
+
+// Cursor replays one core's recorded stream; it implements Generator.
+type Cursor struct {
+	s   *sharedStream
+	pos int
+}
+
+// Next implements Generator by replay (extending the recording on
+// first touch of an index).
+func (c *Cursor) Next() (int, Access) {
+	g, a := c.s.at(c.pos)
+	c.pos++
+	return g, a
+}

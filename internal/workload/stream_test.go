@@ -1,0 +1,71 @@
+package workload
+
+import "testing"
+
+// TestStreamSetReplay: every cursor over a shared stream must see
+// exactly the sequence a standalone Synthetic would produce, regardless
+// of how reads from different cursors interleave or how far each one
+// gets.
+func TestStreamSetReplay(t *testing.T) {
+	const seed = 42
+	profiles := []Profile{MustGet("429.mcf"), MustGet("TPC-H")}
+	ss := NewStreamSet(profiles, seed)
+	if ss.Cores() != 2 {
+		t.Fatalf("Cores() = %d", ss.Cores())
+	}
+
+	// References: standalone generators constructed the way build() does.
+	refs := make([]*Synthetic, len(profiles))
+	for core, p := range profiles {
+		refs[core] = NewSynthetic(p, core%63, seed)
+	}
+	type rec struct {
+		gap int
+		acc Access
+	}
+	want := make([][]rec, len(profiles))
+	for core, r := range refs {
+		for i := 0; i < 500; i++ {
+			g, a := r.Next()
+			want[core] = append(want[core], rec{g, a})
+		}
+	}
+
+	// Three cursors per core, advanced with skewed interleaving: cursor
+	// 0 leads (extends the recording), 1 trails, 2 reads in bursts.
+	curs := make([][]*Cursor, len(profiles))
+	for core := range profiles {
+		curs[core] = []*Cursor{ss.Cursor(core), ss.Cursor(core), ss.Cursor(core)}
+	}
+	pos := make([][]int, len(profiles))
+	for core := range pos {
+		pos[core] = make([]int, 3)
+	}
+	check := func(core, variant int) {
+		i := pos[core][variant]
+		g, a := curs[core][variant].Next()
+		if w := want[core][i]; g != w.gap || a != w.acc {
+			t.Fatalf("core %d variant %d item %d: got (%d,%+v) want (%d,%+v)",
+				core, variant, i, g, a, w.gap, w.acc)
+		}
+		pos[core][variant] = i + 1
+	}
+	for i := 0; i < 400; i++ {
+		check(0, 0)
+		check(1, 0)
+		if i%2 == 0 {
+			check(0, 1)
+		}
+		if i%4 == 3 {
+			for k := 0; k < 4; k++ {
+				check(0, 2)
+				check(1, 2)
+			}
+		}
+	}
+	// Trailers catch up past the leader's tail: lazy extension must keep
+	// serving the same recorded sequence.
+	for pos[0][1] < 450 {
+		check(0, 1)
+	}
+}
