@@ -8,7 +8,7 @@ GO ?= go
 
 .PHONY: check build vet test race bench bench-smoke bench-json bench-compare \
 	alloc-guard check-protocol check-policies fuzz-smoke resilience-smoke \
-	serve-smoke batched-equality update-golden fmt all-quick
+	serve-smoke crash-smoke batched-equality update-golden fmt all-quick
 
 check: build vet race alloc-guard bench-smoke check-protocol
 
@@ -67,6 +67,14 @@ resilience-smoke:
 # sweep_failures series, /status JSON, an SSE stream, and pprof.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Durability smoke: a campaign SIGKILLed mid-sweep must resume from the
+# -store to a byte-identical report, SIGINT/SIGTERM must checkpoint and
+# flush valid aborted artifacts, and a corrupted store entry must be
+# quarantined and re-simulated (see "Durability & crash recovery" in
+# EXPERIMENTS.md).
+crash-smoke:
+	sh scripts/crash_smoke.sh
 
 # Batched-sweep equality gate: the variant-batched engine must
 # reproduce the committed golden fixtures at widths 4 and 8 (width 1 is

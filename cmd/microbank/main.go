@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"microbank/internal/check"
@@ -29,6 +32,7 @@ import (
 	"microbank/internal/parallel"
 	"microbank/internal/sim"
 	"microbank/internal/stats"
+	"microbank/internal/store"
 	"microbank/internal/system"
 	"microbank/internal/workload"
 )
@@ -71,7 +75,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "retry budget per sweep cell for transient failures (deadline trips)")
 		failMode    = flag.String("fail-mode", "fail-fast", "sweep reaction to a failed cell: fail-fast | collect | degrade")
 		journalPath = flag.String("journal", "", "checkpoint completed sweep cells to this JSONL file")
-		resume      = flag.Bool("resume", false, "resume the -journal campaign: completed cells replay from disk, byte-identically")
+		storeDir    = flag.String("store", "", "content-addressed result store directory: completed sweep cells are committed to it (checksummed, atomic) and replayed from it, shared across campaigns and resumes")
+		resume      = flag.Bool("resume", false, "resume the campaign from -journal and/or -store: completed cells replay from disk, byte-identically")
 		injectSpec  = flag.String("inject", "", "deterministic fault injection for testing, e.g. panic:1,timeout:3 (kinds: panic error timeout budget flaky)")
 	)
 	flag.Parse()
@@ -87,6 +92,25 @@ func main() {
 		o.Progress = heartbeat()
 	}
 	svgPrefix = *svgOut
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context — sweep workers stop taking cells, in-flight runs abort at
+	// their next watchdog check, and the run exits through the normal
+	// error path (journal and store keep every completed cell; report/
+	// trace/metrics artifacts flush as valid JSON marked aborted). A
+	// second signal force-quits.
+	ctx, stopRun := context.WithCancel(context.Background())
+	o.Ctx = ctx
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "microbank: %s: checkpointing and flushing aborted artifacts (signal again to force quit)\n", s)
+		stopRun()
+		s = <-sigc
+		fmt.Fprintf(os.Stderr, "microbank: %s: forced exit\n", s)
+		os.Exit(130)
+	}()
 
 	var (
 		agg *obs.Aggregator
@@ -105,12 +129,19 @@ func main() {
 	}
 
 	res, closeJournal, err := buildResilience(*exp, o, *failMode, *retries,
-		*timeout, *eventBudget, *journalPath, *resume, *injectSpec)
+		*timeout, *eventBudget, *journalPath, *storeDir, *resume, *injectSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "microbank:", err)
 		os.Exit(1)
 	}
 	o.Res = res
+	if agg != nil && res != nil && res.Store != nil {
+		s := res.Store
+		agg.SetStoreStats(func() (uint64, uint64, uint64) {
+			st := s.Stats()
+			return st.Hits, st.Misses, st.Quarantined
+		})
+	}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -147,6 +178,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "microbank: journal: %d cell(s) replayed, %d checkpointed\n",
 				res.Journal.Hits(), res.Journal.Cells())
 		}
+		if res.Store != nil {
+			st := res.Store.Stats()
+			fmt.Fprintf(os.Stderr, "microbank: store: %d hit(s), %d miss(es), %d new entr(y/ies), %d quarantined\n",
+				st.Hits, st.Misses, st.Puts, st.Quarantined)
+		}
 	}
 	if report != nil {
 		// A failed run still flushes its report as valid JSON, marked
@@ -181,7 +217,12 @@ func main() {
 		if *serveLinger > 0 {
 			fmt.Fprintf(os.Stderr, "microbank: -serve lingering %s on http://%s\n",
 				*serveLinger, srv.Addr())
-			time.Sleep(*serveLinger)
+			// Interruptible: a signal during the linger (the run itself is
+			// over) tears the endpoints down instead of holding the port.
+			select {
+			case <-time.After(*serveLinger):
+			case <-ctx.Done():
+			}
 		}
 		srv.Close()
 	}
@@ -213,14 +254,14 @@ func parseJIntra(s string) (int, error) {
 }
 
 func buildResilience(exp string, o experiments.Options, failMode string, retries int,
-	timeout time.Duration, eventBudget uint64, journalPath string, resume bool,
+	timeout time.Duration, eventBudget uint64, journalPath, storeDir string, resume bool,
 	inject string) (*experiments.Resilience, func() error, error) {
 	noop := func() error { return nil }
-	if resume && journalPath == "" {
-		return nil, nil, fmt.Errorf("-resume needs -journal")
+	if resume && journalPath == "" && storeDir == "" {
+		return nil, nil, fmt.Errorf("-resume needs -journal or -store")
 	}
 	armed := failMode != "fail-fast" || retries > 0 || timeout > 0 || eventBudget > 0 ||
-		journalPath != "" || inject != ""
+		journalPath != "" || storeDir != "" || inject != ""
 	if !armed {
 		return nil, noop, nil
 	}
@@ -233,14 +274,30 @@ func buildResilience(exp string, o experiments.Options, failMode string, retries
 	if err := res.SetInject(inject); err != nil {
 		return nil, nil, err
 	}
+	key := experiments.CampaignKey(exp, o)
+	if storeDir != "" {
+		s, err := store.Open(storeDir, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Store = s
+		res.StoreKey = key
+		if st := s.Stats(); st.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "microbank: store: recovery quarantined %d corrupt entr(y/ies); they will be re-simulated\n",
+				st.Quarantined)
+		}
+	}
 	if journalPath == "" {
 		return res, noop, nil
 	}
-	j, err := experiments.OpenJournal(journalPath, experiments.CampaignKey(exp, o), resume)
+	j, err := experiments.OpenJournal(journalPath, key, resume)
 	if err != nil {
 		return nil, nil, err
 	}
 	res.Journal = j
+	// A journal written before the store existed seeds it on open, so
+	// both checkpoint layers agree before the first sweep starts.
+	res.MigrateJournal()
 	return res, j.Close, nil
 }
 
@@ -492,7 +549,7 @@ func runCustom(o experiments.Options, report *experiments.Report, of obsFlags, r
 	}
 	spec := system.UniformSpec(sys, prof, o.Instr, o.Seed)
 	spec.WarmupInstr = o.Instr / 2
-	spec.Limits = o.Res.RunLimits()
+	spec.Limits = o.Res.RunLimits(o.Ctx)
 	spec.IntraParallelism = o.IntraParallelism
 
 	agg := o.Agg

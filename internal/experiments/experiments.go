@@ -29,6 +29,14 @@ import (
 // Options sets the fidelity/cost tradeoff for simulation-backed
 // experiments.
 type Options struct {
+	// Ctx, when non-nil, cancels the campaign: sweep workers stop
+	// picking up cells when it is done, and in-flight cells abort at
+	// their next watchdog check (system.Limits.Ctx). The CLI wires its
+	// SIGINT/SIGTERM handler here so an interrupted campaign exits
+	// through the normal error path — journal and store keep every
+	// completed cell, and artifacts flush marked aborted. Nil means
+	// uncancellable, with no watchdog armed on otherwise-unbounded runs.
+	Ctx context.Context
 	// Instr is the per-core instruction budget (half of it is cache
 	// warm-up). Zero selects the default (30k quick, 240k full).
 	Instr uint64
@@ -86,6 +94,14 @@ type Options struct {
 	// registry-only (no sampler/tracer), so results — and intra-parallel
 	// eligibility — are untouched. Nil costs nothing.
 	Agg *obs.Aggregator
+}
+
+// ctx returns the campaign context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -346,9 +362,9 @@ func mapRunsIdx[J any](o Options, jobs []J, run func(env runEnv, i int, j J) (sy
 		idx[i] = i
 	}
 	if o.Res == nil {
-		res, err := parallel.Map(context.Background(), o.Parallelism, idx,
+		res, err := parallel.Map(o.ctx(), o.Parallelism, idx,
 			func(_ context.Context, i int) (system.Result, error) {
-				r, err := cellRun(nil, i, i, jobs[i])
+				r, err := cellRun(o.limitsFor(i), i, i, jobs[i])
 				if err == nil {
 					note()
 				}
@@ -381,11 +397,27 @@ func mapRunsIdx[J any](o Options, jobs []J, run func(env runEnv, i int, j J) (sy
 			}
 		},
 	}
-	results, fails, err := parallel.MapPolicy(context.Background(), o.Parallelism, idx, pol,
+	results, fails, err := parallel.MapPolicy(o.ctx(), o.Parallelism, idx, pol,
 		func(_ context.Context, i int) (system.Result, error) {
-			// Journal lookup precedes injection: a resumed cell is not
-			// re-run, so it cannot re-fire an injected fault.
+			// Checkpoint lookups precede injection: a replayed cell is not
+			// re-run, so it cannot re-fire an injected fault. The store is
+			// consulted before the journal — it is the cross-campaign
+			// authority; the journal covers cells the store lost (or was
+			// never given).
+			if res, ok := r.storeLookup(sweep, i); ok {
+				// Keep the journal self-contained: a store-served cell is
+				// journaled too (skipped if already there), so the journal
+				// alone can still resume this campaign.
+				r.journalCheckpoint(sweep, i, res)
+				if agg != nil {
+					agg.CellReplayed(aggSweep, i)
+				}
+				note()
+				return res, nil
+			}
 			if res, ok := r.journalLookup(sweep, i); ok {
+				// Heal the store: the entry was missing or quarantined.
+				r.storeCheckpoint(sweep, i, res)
 				if agg != nil {
 					agg.CellReplayed(aggSweep, i)
 				}
@@ -407,11 +439,11 @@ func mapRunsIdx[J any](o Options, jobs []J, run func(env runEnv, i int, j J) (sy
 			if rerr != nil {
 				return system.Result{}, rerr
 			}
-			// Only healthy cells are journaled; failed cells re-run (and
-			// re-fail identically) on resume.
-			if jerr := r.journalRecord(sweep, i, res); jerr != nil {
-				return system.Result{}, jerr
-			}
+			// Only healthy cells are checkpointed; failed cells re-run (and
+			// re-fail identically) on resume. A checkpoint that cannot
+			// persist degrades — one warning, persistence disabled — and
+			// never fails the healthy cell it was recording.
+			r.checkpoint(sweep, i, res)
 			note()
 			return res, nil
 		})

@@ -9,14 +9,23 @@ package experiments
 // arithmetic (and therefore its final report) is byte-identical to an
 // uninterrupted run. Failed cells are never journaled, so a resumed
 // campaign re-attempts exactly its missing and failed cells.
+//
+// All disk traffic goes through store.FS, so journal durability is
+// testable under the same injectable fault layer as the result store.
+// A mid-campaign write failure breaks the journal sticky — record keeps
+// returning the failure so the supervisor can warn once and disable
+// checkpointing — but never fails a healthy cell (the campaign
+// continues un-journaled; see Resilience.checkpoint).
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
 
+	"microbank/internal/store"
 	"microbank/internal/system"
 )
 
@@ -52,7 +61,7 @@ func CampaignKey(experiment string, o Options) string {
 // sweep workers.
 type Journal struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      store.File
 	w      *bufio.Writer
 	cells  map[[2]int]system.Result
 	hits   int
@@ -60,21 +69,31 @@ type Journal struct {
 }
 
 // OpenJournal opens a sweep journal at path for the campaign named by
-// key. With resume set and an existing journal present, previously
-// completed cells are loaded (a key mismatch is an error — the journal
-// belongs to a different campaign or code version, and replaying it
-// would silently mix results); a trailing line truncated by a crash is
-// tolerated and dropped. Without resume, any existing file is
-// truncated and a fresh journal started.
+// key, on the real filesystem.
 func OpenJournal(path, key string, resume bool) (*Journal, error) {
+	return OpenJournalFS(path, key, resume, nil)
+}
+
+// OpenJournalFS is OpenJournal on an explicit filesystem (store.OS when
+// nil) — the seam fault-injection tests use. With resume set and an
+// existing journal present, previously completed cells are loaded (a
+// key mismatch is an error — the journal belongs to a different
+// campaign or code version, and replaying it would silently mix
+// results); a trailing line truncated by a crash is tolerated and
+// dropped. Without resume, any existing file is truncated and a fresh
+// journal started.
+func OpenJournalFS(path, key string, resume bool, fsys store.FS) (*Journal, error) {
+	if fsys == nil {
+		fsys = store.OS
+	}
 	j := &Journal{cells: map[[2]int]system.Result{}}
 	if resume {
-		if err := j.load(path, key); err != nil {
+		if err := j.load(path, key, fsys); err != nil {
 			return nil, err
 		}
 	}
 	if j.f == nil { // fresh journal (no resume, or nothing to resume)
-		f, err := os.Create(path)
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("journal: %w", err)
 		}
@@ -95,43 +114,37 @@ func OpenJournal(path, key string, resume bool) (*Journal, error) {
 
 // load reads an existing journal and reopens it for appending. Leaves
 // j.f nil when the file does not exist (resume of a fresh campaign).
-func (j *Journal) load(path, key string) error {
-	f, err := os.Open(path)
+func (j *Journal) load(path, key string, fsys store.FS) error {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	if !sc.Scan() {
-		f.Close()
+	lines := bytes.Split(data, []byte{'\n'})
+	if len(lines) == 0 || len(bytes.TrimSpace(lines[0])) == 0 {
 		return nil // empty file: treat as fresh
 	}
 	var hdr journalHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Journal != journalMagic {
-		f.Close()
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Journal != journalMagic {
 		return fmt.Errorf("journal: %s is not a sweep journal", path)
 	}
 	if hdr.Version != journalVersion {
-		f.Close()
 		return fmt.Errorf("journal: %s has version %d, this build writes %d", path, hdr.Version, journalVersion)
 	}
 	if hdr.Key != key {
-		f.Close()
 		return fmt.Errorf("journal: %s belongs to campaign %q, not %q — results would not be comparable (use a fresh -journal path)",
 			path, hdr.Key, key)
 	}
-	for sc.Scan() {
+	for _, line := range lines[1:] {
 		var c journalCell
-		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+		if err := json.Unmarshal(line, &c); err != nil {
 			break // truncated tail from an interrupted run: drop it
 		}
 		j.cells[[2]int{c.Sweep, c.Cell}] = c.Result
 	}
-	f.Close()
-	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	af, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -151,8 +164,21 @@ func (j *Journal) lookup(sweep, cell int) (system.Result, bool) {
 	return res, ok
 }
 
+// has reports whether a cell is already journaled, without counting a
+// replay hit — the checkpoint path uses it to avoid re-appending cells
+// served from the result store.
+func (j *Journal) has(sweep, cell int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.cells[[2]int{sweep, cell}]
+	return ok
+}
+
 // record appends a completed cell and flushes it to disk, so a kill at
-// any instant loses at most the in-flight line.
+// any instant loses at most the in-flight line. The first write failure
+// breaks the journal sticky: every later record returns the same error
+// without touching the file again, and Close stops reporting it (the
+// supervisor has already surfaced it once).
 func (j *Journal) record(sweep, cell int, res system.Result) error {
 	line, err := json.Marshal(journalCell{Sweep: sweep, Cell: cell, Result: res})
 	if err != nil {
@@ -185,6 +211,18 @@ func (j *Journal) Cells() int {
 	return len(j.cells)
 }
 
+// Snapshot returns a copy of every journaled cell, keyed by
+// (sweep, cell) — the migration feed for the result store.
+func (j *Journal) Snapshot() map[[2]int]system.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[[2]int]system.Result, len(j.cells))
+	for k, v := range j.cells {
+		out[k] = v
+	}
+	return out
+}
+
 func (j *Journal) flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -199,10 +237,19 @@ func (j *Journal) flushLocked() error {
 	return nil
 }
 
-// Close flushes and closes the journal file.
+// Close flushes and closes the journal file. A journal already broken
+// by a mid-campaign write failure closes silently: the failure was
+// surfaced when it happened (record's sticky error → the supervisor's
+// one-line warning), and failing the whole campaign at exit for a
+// checkpoint that was already reported lost would punish healthy
+// results.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.broken != nil {
+		j.f.Close()
+		return nil
+	}
 	ferr := j.w.Flush()
 	cerr := j.f.Close()
 	if ferr != nil {
@@ -211,5 +258,5 @@ func (j *Journal) Close() error {
 	if cerr != nil {
 		return fmt.Errorf("journal: %w", cerr)
 	}
-	return j.broken
+	return nil
 }

@@ -11,8 +11,11 @@ package experiments
 // and across -j widths.
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +24,7 @@ import (
 	"microbank/internal/check"
 	"microbank/internal/obs"
 	"microbank/internal/parallel"
+	"microbank/internal/store"
 	"microbank/internal/system"
 )
 
@@ -61,12 +65,29 @@ type Resilience struct {
 	// Journal, when non-nil, checkpoints completed cells so the
 	// campaign can resume.
 	Journal *Journal
+	// Store, when non-nil, is the cross-campaign content-addressed
+	// result store: completed cells are committed to it and looked up
+	// before the journal, so identical cells are never simulated twice —
+	// across resumes, across processes, across campaigns sharing the
+	// directory. StoreKey is this campaign's key within it
+	// (CampaignKey), binding entries to everything that influences
+	// results.
+	Store    *store.Store
+	StoreKey string
+	// OnDegrade, when non-nil, receives the one-line warning emitted
+	// when a persistence path degrades mid-campaign (journal or store
+	// write failure). Nil prints to stderr. Each path warns at most
+	// once; the campaign itself never fails because its checkpoints
+	// cannot persist.
+	OnDegrade func(msg string)
 	// Log accumulates structured failure records across the campaign's
 	// sweeps (created on first use if nil).
 	Log *FailureLog
 
 	inject map[int]string // campaign cell index -> injected fault kind
 	flaky  sync.Map       // cells whose injected transient already fired
+
+	journalWarn, storeWarn sync.Once
 
 	mu     sync.Mutex
 	sweeps int
@@ -136,12 +157,105 @@ func (r *Resilience) journalLookup(sweep, cell int) (system.Result, bool) {
 	return r.Journal.lookup(sweep, cell)
 }
 
-// journalRecord checkpoints a completed cell, if journaling.
-func (r *Resilience) journalRecord(sweep, cell int, res system.Result) error {
-	if r.Journal == nil {
-		return nil
+// storeCellAddr is the cell's address within the result store. It is
+// derivable from (sweep, cell) alone — no job description — so journal
+// migration and lookup agree on it before any sweep enumerates its
+// jobs.
+func storeCellAddr(sweep, cell int) string {
+	return fmt.Sprintf("sweep %d cell %d", sweep, cell)
+}
+
+// storeLookup consults the result store, if any. The store verifies
+// checksums on read and quarantines anything invalid, so an ok result
+// is exactly the bytes a completed run committed — and JSON round-trips
+// float64 exactly, so the decoded Result is bit-identical to the
+// original.
+func (r *Resilience) storeLookup(sweep, cell int) (system.Result, bool) {
+	if r.Store == nil {
+		return system.Result{}, false
 	}
-	return r.Journal.record(sweep, cell, res)
+	data, ok := r.Store.Get(r.StoreKey, storeCellAddr(sweep, cell))
+	if !ok {
+		return system.Result{}, false
+	}
+	var res system.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		// Checksummed payloads do not fail to decode unless the schema
+		// moved underneath them; treat as a miss and re-simulate.
+		return system.Result{}, false
+	}
+	return res, true
+}
+
+// degrade surfaces a persistence warning: OnDegrade when set, stderr
+// otherwise.
+func (r *Resilience) degrade(msg string) {
+	if r.OnDegrade != nil {
+		r.OnDegrade(msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "microbank: "+msg)
+}
+
+// journalCheckpoint records a completed cell in the journal, degrading
+// on failure: the first write error (disk full, permissions, torn
+// device) produces a single warning and disables further journaling —
+// it never fails the cell, whose simulation result is healthy. Cells
+// the journal already holds (store-served replays) are not re-appended.
+func (r *Resilience) journalCheckpoint(sweep, cell int, res system.Result) {
+	if r.Journal == nil || r.Journal.has(sweep, cell) {
+		return
+	}
+	if err := r.Journal.record(sweep, cell, res); err != nil {
+		r.journalWarn.Do(func() {
+			r.degrade(fmt.Sprintf("warning: %v — journaling disabled, campaign continues without checkpoints", err))
+		})
+	}
+}
+
+// storeCheckpoint commits a completed cell to the result store,
+// degrading on failure with the store's own sticky write-disable.
+func (r *Resilience) storeCheckpoint(sweep, cell int, res system.Result) {
+	if r.Store == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	if err := r.Store.Put(r.StoreKey, storeCellAddr(sweep, cell), payload); err != nil {
+		r.storeWarn.Do(func() {
+			r.degrade("warning: " + err.Error())
+		})
+	}
+}
+
+// checkpoint persists a freshly simulated cell everywhere the campaign
+// checkpoints — journal and store — with degrade-don't-fail semantics
+// on both.
+func (r *Resilience) checkpoint(sweep, cell int, res system.Result) {
+	r.journalCheckpoint(sweep, cell, res)
+	r.storeCheckpoint(sweep, cell, res)
+}
+
+// MigrateJournal seeds the result store with every cell the journal
+// already holds, so a campaign resumed from a journal written before
+// the store existed — or pointed at a fresh store directory — shares
+// its completed work immediately. Cells the store already has are
+// skipped without touching the hit/miss counters.
+func (r *Resilience) MigrateJournal() {
+	if r == nil || r.Store == nil || r.Journal == nil {
+		return
+	}
+	for k, res := range r.Journal.Snapshot() {
+		if r.Store.Has(r.StoreKey, storeCellAddr(k[0], k[1])) {
+			continue
+		}
+		r.storeCheckpoint(k[0], k[1], res)
+		if r.Store.WriteErr() != nil {
+			return // store degraded; the warning already fired
+		}
+	}
 }
 
 // Err returns the campaign-level verdict once every sweep has run:
@@ -169,14 +283,25 @@ func (r *Resilience) RegisterMetrics(reg *obs.Registry) {
 	r.mu.Unlock()
 	reg.GaugeFunc("sweep.failures", func() float64 { return float64(log.Len()) })
 	reg.GaugeFunc("sweep.retries", func() float64 { return float64(log.Retries()) })
+	if s := r.Store; s != nil {
+		reg.GaugeFunc("store.hits", func() float64 { return float64(s.Stats().Hits) })
+		reg.GaugeFunc("store.misses", func() float64 { return float64(s.Stats().Misses) })
+		reg.GaugeFunc("store.quarantined", func() float64 { return float64(s.Stats().Quarantined) })
+	}
 }
 
 // limitsFor builds the per-run limits for campaign cell g: the
 // campaign-wide timeout/event budget, or an injected limit fault that
-// deterministically trips at the first watchdog check.
+// deterministically trips at the first watchdog check. A caller
+// context (Options.Ctx — the CLI's signal handler) rides along so an
+// interrupt cancels in-flight cells at the next watchdog check; the
+// armed watchdog is read-only and never perturbs results.
 func (o Options) limitsFor(g int) *system.Limits {
 	r := o.Res
 	if r == nil {
+		if o.Ctx != nil {
+			return &system.Limits{Ctx: o.Ctx}
+		}
 		return nil
 	}
 	switch r.injectionAt(g) {
@@ -186,19 +311,26 @@ func (o Options) limitsFor(g int) *system.Limits {
 		return &system.Limits{EventBudget: 1, CheckEvents: injectCheckEvents}
 	}
 	if r.Timeout <= 0 && r.EventBudget == 0 {
+		if o.Ctx != nil {
+			return &system.Limits{Ctx: o.Ctx}
+		}
 		return nil
 	}
-	return &system.Limits{WallClock: r.Timeout, EventBudget: r.EventBudget}
+	return &system.Limits{Ctx: o.Ctx, WallClock: r.Timeout, EventBudget: r.EventBudget}
 }
 
 // RunLimits returns the limits a single ad-hoc run (-exp run) inherits
 // from the campaign flags: the wall-clock deadline and event budget,
-// or nil when unbounded.
-func (r *Resilience) RunLimits() *system.Limits {
+// or nil when unbounded. ctx (which may be nil) threads the caller's
+// cancellation — the CLI's signal handler — into the run's watchdog.
+func (r *Resilience) RunLimits(ctx context.Context) *system.Limits {
 	if r == nil || (r.Timeout <= 0 && r.EventBudget == 0) {
+		if ctx != nil {
+			return &system.Limits{Ctx: ctx}
+		}
 		return nil
 	}
-	return &system.Limits{WallClock: r.Timeout, EventBudget: r.EventBudget}
+	return &system.Limits{Ctx: ctx, WallClock: r.Timeout, EventBudget: r.EventBudget}
 }
 
 // errInjectedTransient is the retryable error the flaky injection

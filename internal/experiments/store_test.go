@@ -1,0 +1,230 @@
+package experiments
+
+// Integration tests for the content-addressed result store under the
+// campaign layer: byte-identity with the store on and off, cross-
+// campaign sharing, corruption healing, journal migration, and the
+// degrade-don't-fail contract for checkpoint write failures (the
+// journalRecord regression the fault-injecting FS makes testable).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microbank/internal/check/golden"
+	"microbank/internal/parallel"
+	"microbank/internal/store"
+)
+
+// storeRes builds a degrade-mode Resilience checkpointing into a store
+// at dir, collecting degrade warnings instead of printing them.
+func storeRes(t *testing.T, dir string, fsys store.FS, warns *[]string) *Resilience {
+	t.Helper()
+	s, err := store.Open(dir, fsys)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	r := &Resilience{Mode: parallel.FailDegrade, Store: s}
+	r.StoreKey = CampaignKey("headline", resOpts(r))
+	if warns != nil {
+		r.OnDegrade = func(msg string) { *warns = append(*warns, msg) }
+	}
+	return r
+}
+
+// TestStoreSweepByteIdenticalAndShared is the tentpole acceptance
+// test: a store-backed campaign's report is byte-identical to a plain
+// one, and a second campaign over the same store simulates nothing —
+// every cell replays from disk.
+func TestStoreSweepByteIdenticalAndShared(t *testing.T) {
+	plain := headlineReport(t, resOpts(&Resilience{Mode: parallel.FailDegrade}))
+
+	dir := t.TempDir()
+	r1 := storeRes(t, dir, nil, nil)
+	first := headlineReport(t, resOpts(r1))
+	if !bytes.Equal(first, plain) {
+		t.Fatalf("store-backed report drifted from plain run:\n%s", golden.Diff(plain, first))
+	}
+	st := r1.Store.Stats()
+	if st.Puts == 0 || st.Hits != 0 {
+		t.Fatalf("first campaign stats = %+v, want puts > 0 and no hits", st)
+	}
+
+	// A different process (modeled as a fresh handle over the same
+	// directory) re-running the same campaign: all cells replay.
+	r2 := storeRes(t, dir, nil, nil)
+	second := headlineReport(t, resOpts(r2))
+	if !bytes.Equal(second, plain) {
+		t.Fatalf("replayed report drifted:\n%s", golden.Diff(plain, second))
+	}
+	st2 := r2.Store.Stats()
+	if st2.Puts != 0 || st2.Hits == 0 || st2.Misses != 0 {
+		t.Fatalf("replay campaign stats = %+v, want hits only", st2)
+	}
+}
+
+// TestStoreCorruptEntryResimulated flips bytes in a committed entry:
+// the next campaign must quarantine it, re-simulate that one cell, and
+// still produce a byte-identical report — degrade, never a crash or a
+// silently wrong result.
+func TestStoreCorruptEntryResimulated(t *testing.T) {
+	plain := headlineReport(t, resOpts(&Resilience{Mode: parallel.FailDegrade}))
+	dir := t.TempDir()
+	headlineReport(t, resOpts(storeRes(t, dir, nil, nil)))
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".res" {
+			continue
+		}
+		p := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+		break // one poisoned entry is the scenario
+	}
+	if corrupted == 0 {
+		t.Fatal("no store entries found to corrupt")
+	}
+
+	r := storeRes(t, dir, nil, nil)
+	got := headlineReport(t, resOpts(r))
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("post-corruption report drifted:\n%s", golden.Diff(plain, got))
+	}
+	st := r.Store.Stats()
+	if st.Quarantined == 0 {
+		t.Fatalf("corrupt entry was not quarantined: %+v", st)
+	}
+	if st.Puts == 0 {
+		t.Fatalf("re-simulated cell was not re-committed: %+v", st)
+	}
+	if des, err := os.ReadDir(filepath.Join(dir, "quarantine")); err != nil || len(des) == 0 {
+		t.Fatalf("quarantine directory empty (%v) after corruption", err)
+	}
+}
+
+// TestJournalMigratesIntoStore opens a journal-only campaign, then
+// attaches a store: MigrateJournal must seed it with every journaled
+// cell, and the next campaign replays entirely from the store.
+func TestJournalMigratesIntoStore(t *testing.T) {
+	tmp := t.TempDir()
+	jpath := filepath.Join(tmp, "campaign.journal")
+
+	rj := &Resilience{Mode: parallel.FailDegrade}
+	key := CampaignKey("headline", resOpts(rj))
+	j, err := OpenJournal(jpath, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj.Journal = j
+	plain := headlineReport(t, resOpts(rj))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cells := rj.Journal.Cells()
+	if cells == 0 {
+		t.Fatal("journal-only campaign checkpointed nothing")
+	}
+
+	// Resume with a store attached: migration seeds it before any sweep.
+	r := storeRes(t, filepath.Join(tmp, "store"), nil, nil)
+	j2, err := OpenJournal(jpath, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Journal = j2
+	r.MigrateJournal()
+	if got := r.Store.Entries(); got != cells {
+		t.Fatalf("migration seeded %d entries, journal holds %d", got, cells)
+	}
+	// Migration is idempotent: a second pass writes nothing new.
+	puts := r.Store.Stats().Puts
+	r.MigrateJournal()
+	if got := r.Store.Stats().Puts; got != puts {
+		t.Fatalf("second migration wrote %d new entries", got-puts)
+	}
+	got := headlineReport(t, resOpts(r))
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("migrated campaign report drifted:\n%s", golden.Diff(plain, got))
+	}
+	if st := r.Store.Stats(); st.Hits == 0 {
+		t.Fatalf("migrated campaign did not replay from the store: %+v", st)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalWriteFailureDegrades is the satellite-1 regression test:
+// a mid-campaign journal write failure (disk full) must not fail the
+// healthy cells it was checkpointing — the campaign completes with
+// zero failure records, one warning fires, and journaling is disabled.
+func TestJournalWriteFailureDegrades(t *testing.T) {
+	efs := store.NewErrFS(nil)
+	jpath := filepath.Join(t.TempDir(), "campaign.journal")
+	r := &Resilience{Mode: parallel.FailDegrade}
+	var warns []string
+	r.OnDegrade = func(msg string) { warns = append(warns, msg) }
+	j, err := OpenJournalFS(jpath, CampaignKey("headline", resOpts(r)), false, efs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Journal = j
+	// Every write after the header fails: the first cell checkpoint
+	// breaks the journal, and the sticky error must stay a warning.
+	efs.Inject(store.Fault{Op: store.OpWrite, Match: "campaign.journal",
+		Skip: 1, Count: 1 << 20, Err: store.ErrNoSpace})
+
+	plain := headlineReport(t, resOpts(&Resilience{Mode: parallel.FailDegrade}))
+	got := headlineReport(t, resOpts(r))
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("journal-degraded report drifted from plain run:\n%s", golden.Diff(plain, got))
+	}
+	if n := r.Log.Len(); n != 0 {
+		t.Fatalf("journal write failure produced %d cell failures: %+v", n, r.Log.Failures())
+	}
+	if len(warns) != 1 {
+		t.Fatalf("got %d degrade warnings, want exactly 1: %q", len(warns), warns)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close of a degraded-and-warned journal = %v, want nil", err)
+	}
+}
+
+// TestStoreWriteFailureDegrades: same contract on the store side —
+// ENOSPC on every staged write disables store commits with a single
+// warning while the campaign's results stay byte-identical.
+func TestStoreWriteFailureDegrades(t *testing.T) {
+	efs := store.NewErrFS(nil)
+	var warns []string
+	r := storeRes(t, t.TempDir(), efs, &warns)
+	efs.Inject(store.Fault{Op: store.OpWrite, Match: "tmp",
+		Count: 1 << 20, Err: store.ErrNoSpace})
+
+	plain := headlineReport(t, resOpts(&Resilience{Mode: parallel.FailDegrade}))
+	got := headlineReport(t, resOpts(r))
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("store-degraded report drifted from plain run:\n%s", golden.Diff(plain, got))
+	}
+	if n := r.Log.Len(); n != 0 {
+		t.Fatalf("store write failure produced %d cell failures: %+v", n, r.Log.Failures())
+	}
+	if len(warns) != 1 {
+		t.Fatalf("got %d degrade warnings, want exactly 1: %q", len(warns), warns)
+	}
+	if r.Store.WriteErr() == nil {
+		t.Fatal("store writes not disabled after injected ENOSPC")
+	}
+}

@@ -79,6 +79,11 @@ type Aggregator struct {
 	diag   any
 	diagAt time.Time
 
+	// storeStats, when set, reads the result store's counters (hit/miss/
+	// quarantine) for /metrics and /status. It must be cheap and safe to
+	// call concurrently (the store's counters are atomics).
+	storeStats func() (hits, misses, quarantined uint64)
+
 	subs map[int]chan Event
 	next int
 }
@@ -103,6 +108,15 @@ func NewAggregator(experiment string) *Aggregator {
 var ownSeries = [...]string{
 	"sweep.done", "sweep.total", "sweep.inflight",
 	"sweep.failures", "sweep.retries",
+	"store.hits", "store.misses", "store.quarantined",
+}
+
+// SetStoreStats attaches the result-store counter reader; nil detaches
+// it (the store.* series disappear from Gather and /status).
+func (a *Aggregator) SetStoreStats(fn func() (hits, misses, quarantined uint64)) {
+	a.mu.Lock()
+	a.storeStats = fn
+	a.mu.Unlock()
 }
 
 // BeginSweep registers a sweep of total cells and returns its index.
@@ -251,6 +265,13 @@ func (a *Aggregator) Gather() []Sample {
 		Sample{"sweep.inflight", float64(len(a.inflight))},
 		Sample{"sweep.failures", float64(len(a.failures))},
 		Sample{"sweep.retries", float64(a.retries)})
+	if a.storeStats != nil {
+		hits, misses, quarantined := a.storeStats()
+		out = append(out,
+			Sample{"store.hits", float64(hits)},
+			Sample{"store.misses", float64(misses)},
+			Sample{"store.quarantined", float64(quarantined)})
+	}
 	kinds := make([]string, 0, len(a.byKind))
 	for k := range a.byKind {
 		kinds = append(kinds, k)
@@ -304,8 +325,17 @@ type Status struct {
 	Sweeps       []sweepState   `json:"sweeps"`
 	FailureKinds map[string]int `json:"failure_kinds,omitempty"`
 	Failures     []CellFailure  `json:"failures,omitempty"`
-	Diag         any            `json:"diag,omitempty"`
-	DiagAt       string         `json:"diag_at,omitempty"`
+	// Store carries the result store's counters when one is attached.
+	Store  *StoreStatus `json:"store,omitempty"`
+	Diag   any          `json:"diag,omitempty"`
+	DiagAt string       `json:"diag_at,omitempty"`
+}
+
+// StoreStatus is the /status view of the result store's counters.
+type StoreStatus struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Quarantined uint64 `json:"quarantined"`
 }
 
 // StatusJSON renders the campaign report-so-far as compact JSON (one
@@ -333,6 +363,10 @@ func (a *Aggregator) StatusJSON() ([]byte, error) {
 		for k, v := range a.byKind {
 			st.FailureKinds[k] = v
 		}
+	}
+	if a.storeStats != nil {
+		h, m, q := a.storeStats()
+		st.Store = &StoreStatus{Hits: h, Misses: m, Quarantined: q}
 	}
 	if !a.diagAt.IsZero() {
 		st.DiagAt = a.diagAt.UTC().Format(time.RFC3339)

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAggregatorStoreStats: with a store-counter reader attached, the
+// aggregator exports store.hits/misses/quarantined in Gather (ahead of
+// merged cell series, collision-proof) and a store block in /status;
+// without one, neither appears.
+func TestAggregatorStoreStats(t *testing.T) {
+	a := NewAggregator("headline")
+	find := func(samples []Sample, name string) (float64, bool) {
+		for _, s := range samples {
+			if s.Name == name {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+	if _, ok := find(a.Gather(), "store.hits"); ok {
+		t.Fatal("store.* series present with no store attached")
+	}
+
+	var hits, misses, quarantined uint64 = 5, 2, 1
+	a.SetStoreStats(func() (uint64, uint64, uint64) { return hits, misses, quarantined })
+	// A cell series colliding with the store names must lose to the
+	// campaign view, like the sweep.* series do.
+	sw := a.BeginSweep(1)
+	a.CellStarted(sw, 0)
+	a.CellDone(sw, 0, []Sample{{"store.hits", 999}, {"cell.metric", 7}})
+
+	g := a.Gather()
+	for name, want := range map[string]float64{
+		"store.hits": 5, "store.misses": 2, "store.quarantined": 1, "cell.metric": 7,
+	} {
+		if v, ok := find(g, name); !ok || v != want {
+			t.Fatalf("%s = %v (present=%v), want %v", name, v, ok, want)
+		}
+	}
+
+	data, err := a.StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil || st.Store.Hits != 5 || st.Store.Misses != 2 || st.Store.Quarantined != 1 {
+		t.Fatalf("status store block = %+v, want {5 2 1}", st.Store)
+	}
+
+	a.SetStoreStats(nil)
+	if _, ok := find(a.Gather(), "store.misses"); ok {
+		t.Fatal("store.* series survived detaching the reader")
+	}
+}

@@ -1,0 +1,152 @@
+package parallel
+
+// Direct coverage for MapPolicy's retry backoff: the doubling schedule
+// with its cap, the wall-clock lower bound a retried item must pay,
+// and the determinism of per-item retry ordering under concurrency
+// (this file is part of the -race CI sweep).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBackoffDoublingSeries pins the full doubling schedule from the
+// base to the cap: backoffFor(base, n) = base << (n-1), saturating at
+// maxBackoff, for every attempt index on the way up.
+func TestBackoffDoublingSeries(t *testing.T) {
+	base := 10 * time.Millisecond
+	want := base
+	for attempt := 1; attempt <= 16; attempt++ {
+		got := backoffFor(base, attempt)
+		if want > maxBackoff {
+			if got != maxBackoff {
+				t.Fatalf("attempt %d: backoff = %v, want cap %v", attempt, got, maxBackoff)
+			}
+		} else if got != want {
+			t.Fatalf("attempt %d: backoff = %v, want %v", attempt, got, want)
+		}
+		want *= 2
+	}
+	// A shift past the word width must still saturate, not wrap to a
+	// negative or tiny sleep.
+	for _, attempt := range []int{40, 63, 64, 100} {
+		if got := backoffFor(base, attempt); got != maxBackoff {
+			t.Fatalf("attempt %d: backoff = %v, want cap %v", attempt, got, maxBackoff)
+		}
+	}
+}
+
+// TestMapPolicyRetryOrderingDeterministic runs a sweep where several
+// items fail transiently a known number of times, under width > 1 and
+// -race: every item's OnRetry sequence must be exactly 1, 2, ..., k in
+// order (attempts of one item never interleave out of order, whatever
+// the scheduler does), each item must succeed on the attempt after its
+// last transient failure, and the total elapsed time must cover the
+// doubling backoff every retried item paid.
+func TestMapPolicyRetryOrderingDeterministic(t *testing.T) {
+	const (
+		n        = 8
+		failures = 3 // transient failures per flaky item
+		base     = 2 * time.Millisecond
+	)
+	transient := errors.New("transient")
+	var (
+		mu       sync.Mutex
+		attempts = map[int][]int{} // item -> OnRetry attempt sequence
+	)
+	var counters [n]int
+	pol := Policy{
+		Mode:      FailDegrade,
+		Retries:   failures,
+		Backoff:   base,
+		Retryable: func(err error) bool { return errors.Is(err, transient) },
+		OnRetry: func(i, attempt int, err error) {
+			if !errors.Is(err, transient) {
+				t.Errorf("OnRetry item %d saw unexpected error %v", i, err)
+			}
+			mu.Lock()
+			attempts[i] = append(attempts[i], attempt)
+			mu.Unlock()
+		},
+	}
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	start := time.Now()
+	results, fails, err := MapPolicy(context.Background(), 4, items, pol,
+		func(_ context.Context, i int) (int, error) {
+			counters[i]++ // safe: attempts of one item are sequential
+			if i%2 == 0 && counters[i] <= failures {
+				return 0, transient
+			}
+			return i * 10, nil
+		})
+	elapsed := time.Since(start)
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("sweep failed: err=%v fails=%v", err, fails)
+	}
+	for i, r := range results {
+		if r != i*10 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*10)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := attempts[i]
+		if i%2 != 0 {
+			if len(got) != 0 {
+				t.Fatalf("healthy item %d was retried: %v", i, got)
+			}
+			continue
+		}
+		if len(got) != failures {
+			t.Fatalf("item %d retried %d times, want %d: %v", i, len(got), failures, got)
+		}
+		for k, a := range got {
+			if a != k+1 {
+				t.Fatalf("item %d attempt sequence out of order: %v", i, got)
+			}
+		}
+		if counters[i] != failures+1 {
+			t.Fatalf("item %d ran %d times, want %d", i, counters[i], failures+1)
+		}
+	}
+	// Each flaky item slept base + 2·base + 4·base; with 4 workers and 4
+	// flaky items, at least one worker paid the full series.
+	if min := base * (1<<failures - 1); elapsed < min {
+		t.Fatalf("sweep finished in %v, below the minimum backoff %v", elapsed, min)
+	}
+}
+
+// TestMapPolicyExhaustionAttemptCount pins the attempt accounting when
+// the retry budget runs out: Attempts on the TaskError is the first try
+// plus every retry, and OnRetry fired exactly Retries times.
+func TestMapPolicyExhaustionAttemptCount(t *testing.T) {
+	transient := errors.New("still transient")
+	var retries []int
+	pol := Policy{
+		Mode:      FailDegrade,
+		Retries:   2,
+		Retryable: func(err error) bool { return errors.Is(err, transient) },
+		Digest:    func(i int) string { return fmt.Sprintf("cell %d", i) },
+		OnRetry:   func(_, attempt int, _ error) { retries = append(retries, attempt) },
+	}
+	_, fails, err := MapPolicy(context.Background(), 1, []int{0}, pol,
+		func(context.Context, int) (int, error) { return 0, transient })
+	if err != nil {
+		t.Fatalf("degrade sweep returned error: %v", err)
+	}
+	if len(fails) != 1 || fails[0].Attempts != 3 {
+		t.Fatalf("fails = %+v, want one failure with Attempts=3", fails)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry sequence = %v, want [1 2]", retries)
+	}
+	if fails[0].Digest != "cell 0" || !errors.Is(fails[0], transient) {
+		t.Fatalf("failure lost its digest or cause: %+v", fails[0])
+	}
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const (
+	tCampaign = "fig8|schema=1|quick=true|instr=6000|cores=16|seed=42"
+	tCell     = "sweep 0 cell 3"
+)
+
+func openT(t *testing.T, dir string, fsys FS) *Store {
+	t.Helper()
+	s, err := Open(dir, fsys)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, campaign, cell string, payload []byte) {
+	t.Helper()
+	if err := s.Put(campaign, cell, payload); err != nil {
+		t.Fatalf("Put(%q): %v", cell, err)
+	}
+}
+
+func entryPath(dir, campaign, cell string) string {
+	return filepath.Join(dir, Key(campaign, cell)+entryExt)
+}
+
+func TestKeyBinding(t *testing.T) {
+	a := Key("campaign-a", "cell-1")
+	if len(a) != keyHexLen {
+		t.Fatalf("key length %d, want %d", len(a), keyHexLen)
+	}
+	if a == Key("campaign-a", "cell-2") || a == Key("campaign-b", "cell-1") {
+		t.Fatal("distinct (campaign, cell) pairs collided")
+	}
+	// The NUL separator keeps ambiguous concatenations apart.
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("key is ambiguous under concatenation")
+	}
+	if a != Key("campaign-a", "cell-1") {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	payload := []byte(`{"ipc":1.2345678901234567}`)
+	mustPut(t, s, tCampaign, tCell, payload)
+	got, ok := s.Get(tCampaign, tCell)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	if _, ok := s.Get(tCampaign, "sweep 0 cell 4"); ok {
+		t.Fatal("Get of an unstored cell hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A second handle (a later campaign, or another process) sees the
+	// entry after its own recovery pass.
+	s2 := openT(t, dir, nil)
+	if s2.Entries() != 1 {
+		t.Fatalf("reopened store knows %d entries, want 1", s2.Entries())
+	}
+	if got, ok := s2.Get(tCampaign, tCell); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+func TestPutOverwriteIsAtomicAndLastWins(t *testing.T) {
+	s := openT(t, t.TempDir(), nil)
+	mustPut(t, s, tCampaign, tCell, []byte(`{"v":1}`))
+	mustPut(t, s, tCampaign, tCell, []byte(`{"v":2}`))
+	got, ok := s.Get(tCampaign, tCell)
+	if !ok || string(got) != `{"v":2}` {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+}
+
+// TestConcurrentPuts hammers one key and several distinct keys from
+// concurrent goroutines (run under -race in CI): every rename is
+// atomic, so the surviving entries must all validate.
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Every writer of the shared key writes identical bytes —
+				// the content-addressed contract.
+				if err := s.Put(tCampaign, "shared", []byte(`{"shared":true}`)); err != nil {
+					t.Errorf("Put shared: %v", err)
+				}
+				cell := fmt.Sprintf("goroutine %d cell %d", g, i)
+				if err := s.Put(tCampaign, cell, []byte(`{"g":`+fmt.Sprint(g)+`}`)); err != nil {
+					t.Errorf("Put %s: %v", cell, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, ok := s.Get(tCampaign, "shared"); !ok || string(got) != `{"shared":true}` {
+		t.Fatalf("shared entry = %q, %v", got, ok)
+	}
+	// Reopen: the recovery scrub must validate every surviving entry.
+	s2 := openT(t, dir, nil)
+	if q := s2.Stats().Quarantined; q != 0 {
+		t.Fatalf("recovery quarantined %d entries of a clean concurrent run", q)
+	}
+	if s2.Entries() != 8*20+1 {
+		t.Fatalf("entries = %d, want %d", s2.Entries(), 8*20+1)
+	}
+}
+
+// corruptByte flips one payload byte of an existing entry in place.
+func corruptByte(t *testing.T, path string, fromEnd int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := len(data) - fromEnd
+	data[i] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlippedByteQuarantinedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	mustPut(t, s, tCampaign, tCell, []byte(`{"ipc":1.5}`))
+	corruptByte(t, entryPath(dir, tCampaign, tCell), 3)
+
+	if _, ok := s.Get(tCampaign, tCell); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Misses != 1 {
+		t.Fatalf("stats after corrupt Get = %+v", st)
+	}
+	// The bad file moved to quarantine/ and the slot is writable again.
+	if _, err := os.Stat(entryPath(dir, tCampaign, tCell)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still in place: %v", err)
+	}
+	quar, err := os.ReadDir(filepath.Join(dir, quarDirName))
+	if err != nil || len(quar) != 1 {
+		t.Fatalf("quarantine holds %d files (%v), want 1", len(quar), err)
+	}
+	mustPut(t, s, tCampaign, tCell, []byte(`{"ipc":1.5}`))
+	if _, ok := s.Get(tCampaign, tCell); !ok {
+		t.Fatal("re-simulated entry did not heal the store")
+	}
+}
+
+func TestRecoveryQuarantinesTornAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	mustPut(t, s, tCampaign, "cell torn", []byte(`{"a":1}`))
+	mustPut(t, s, tCampaign, "cell flipped", []byte(`{"b":2}`))
+	mustPut(t, s, tCampaign, "cell healthy", []byte(`{"c":3}`))
+
+	// Tear one entry (simulating a partial write that somehow reached
+	// the final name), flip a byte in another.
+	torn := entryPath(dir, tCampaign, "cell torn")
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corruptByte(t, entryPath(dir, tCampaign, "cell flipped"), 2)
+	// Plus staging debris and a foreign file.
+	if err := os.WriteFile(filepath.Join(dir, tmpDirName, "leftover.res.123.4"), []byte("zz"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "NOTES.txt"), []byte("mine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, nil)
+	if st := s2.Stats(); st.Quarantined != 2 {
+		t.Fatalf("recovery quarantined %d, want 2: %+v", st.Quarantined, st)
+	}
+	if s2.Entries() != 1 {
+		t.Fatalf("entries after recovery = %d, want 1", s2.Entries())
+	}
+	if _, ok := s2.Get(tCampaign, "cell healthy"); !ok {
+		t.Fatal("healthy entry lost in recovery")
+	}
+	if _, ok := s2.Get(tCampaign, "cell torn"); ok {
+		t.Fatal("torn entry survived recovery")
+	}
+	// Foreign files are untouched; staging debris is gone.
+	if _, err := os.Stat(filepath.Join(dir, "NOTES.txt")); err != nil {
+		t.Fatalf("foreign file touched: %v", err)
+	}
+	tmps, err := os.ReadDir(filepath.Join(dir, tmpDirName))
+	if err != nil || len(tmps) != 0 {
+		t.Fatalf("staging debris not cleared: %d files, %v", len(tmps), err)
+	}
+}
+
+func TestKeyBindingMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	mustPut(t, s, tCampaign, tCell, []byte(`{"x":1}`))
+	// Plant the (internally consistent) entry under a different key —
+	// a copied or renamed file must not be served for the wrong cell.
+	other := entryPath(dir, tCampaign, "some other cell")
+	if err := os.Rename(entryPath(dir, tCampaign, tCell), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(tCampaign, "some other cell"); ok {
+		t.Fatal("renamed entry served under the wrong key")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+// TestWriteFaultTaxonomy: every injected write-path fault must leave
+// no (invalid) entry behind, disable further writes with a sticky
+// error, and keep reads working. This is the acceptance matrix of the
+// durability harness.
+func TestWriteFaultTaxonomy(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault Fault
+	}{
+		{"short-write", Fault{Op: OpWrite, Match: tmpDirName, Err: ErrNoSpace, Short: 7}},
+		{"enospc", Fault{Op: OpWrite, Match: tmpDirName, Err: ErrNoSpace}},
+		{"eio-write", Fault{Op: OpWrite, Match: tmpDirName, Err: ErrIO}},
+		{"fsync", Fault{Op: OpSync, Match: tmpDirName, Err: ErrShortSync}},
+		{"close", Fault{Op: OpClose, Match: tmpDirName, Err: ErrIO}},
+		{"rename", Fault{Op: OpRename, Match: entryExt, Err: ErrIO}},
+		{"open", Fault{Op: OpOpen, Match: tmpDirName, Err: ErrNoSpace}},
+		{"dir-fsync", Fault{Op: OpSyncDir, Err: ErrShortSync}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			efs := NewErrFS(nil)
+			s := openT(t, dir, efs)
+			mustPut(t, s, tCampaign, "healthy pre-fault", []byte(`{"ok":1}`))
+
+			efs.Inject(tc.fault)
+			err := s.Put(tCampaign, tCell, []byte(`{"doomed":1}`))
+			if err == nil {
+				t.Fatal("faulted Put succeeded")
+			}
+			if !errors.Is(err, tc.fault.Err) {
+				t.Fatalf("Put error = %v, want wrapped %v", err, tc.fault.Err)
+			}
+			// Sticky: the next Put reports the same degraded state without
+			// touching the disk again.
+			if err2 := s.Put(tCampaign, "next", []byte(`{"n":1}`)); err2 == nil ||
+				!strings.Contains(err2.Error(), "disabled") {
+				t.Fatalf("second Put after fault = %v, want sticky disabled error", err2)
+			}
+			if s.WriteErr() == nil {
+				t.Fatal("WriteErr nil after write fault")
+			}
+			// Reads still work.
+			if _, ok := s.Get(tCampaign, "healthy pre-fault"); !ok {
+				t.Fatal("read path broken after write fault")
+			}
+			// Whatever survived on disk must validate or be quarantined —
+			// never a torn entry served as truth.
+			s2 := openT(t, dir, nil)
+			if got, ok := s2.Get(tCampaign, tCell); ok {
+				// Only the dir-fsync case legitimately leaves the entry
+				// (it is valid; only power-loss durability was in doubt).
+				if tc.name != "dir-fsync" {
+					t.Fatalf("faulted entry visible after reopen: %q", got)
+				}
+			}
+		})
+	}
+}
+
+func TestReadFaultDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	efs := NewErrFS(nil)
+	s := openT(t, dir, efs)
+	mustPut(t, s, tCampaign, tCell, []byte(`{"x":1}`))
+	efs.Inject(Fault{Op: OpRead, Match: entryExt, Err: ErrIO})
+	if _, ok := s.Get(tCampaign, tCell); ok {
+		t.Fatal("EIO read served a hit")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats after EIO read = %+v", st)
+	}
+	// The fault was one-shot; the quarantine moved the entry, so the
+	// next read is an honest miss and a rewrite heals it.
+	mustPut(t, s, tCampaign, tCell, []byte(`{"x":1}`))
+	if _, ok := s.Get(tCampaign, tCell); !ok {
+		t.Fatal("store did not heal after read fault")
+	}
+}
+
+func TestRenameRaceLastWriterWins(t *testing.T) {
+	// Two stores on the same directory (two campaign processes) racing
+	// Puts of the same key: both must succeed, and the surviving entry
+	// must validate.
+	dir := t.TempDir()
+	a := openT(t, dir, nil)
+	b := openT(t, dir, nil)
+	payload := []byte(`{"same":"content"}`)
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(tCampaign, tCell, payload); err != nil {
+					t.Errorf("racing Put: %v", err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	got, ok := openT(t, dir, nil).Get(tCampaign, tCell)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-race entry = %q, %v", got, ok)
+	}
+}
+
+func TestOpenRejectsUnusableDir(t *testing.T) {
+	efs := NewErrFS(nil)
+	efs.Inject(Fault{Op: OpMkdir, Err: ErrIO})
+	if _, err := Open(filepath.Join(t.TempDir(), "s"), efs); err == nil {
+		t.Fatal("Open with failing MkdirAll succeeded")
+	}
+}
+
+func TestBadEntryNameQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	mustPut(t, s, tCampaign, tCell, []byte(`{"x":1}`))
+	if err := os.WriteFile(filepath.Join(dir, "nothex.res"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, nil)
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want the misnamed .res quarantined", st)
+	}
+	if s2.Entries() != 1 {
+		t.Fatalf("entries = %d, want 1", s2.Entries())
+	}
+}

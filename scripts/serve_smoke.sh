@@ -8,16 +8,35 @@
 # events, and a live pprof index. Run via `make serve-smoke`.
 set -eu
 
-ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18080}"
+# Port-collision hardening: by default ask the kernel for an ephemeral
+# port (bind :0) and read the resolved address back from the serve
+# banner, so parallel CI jobs on one runner can never race on a fixed
+# port. SERVE_SMOKE_ADDR still overrides for manual debugging.
+ADDR_REQ="${SERVE_SMOKE_ADDR:-127.0.0.1:0}"
 OUT="$(mktemp -d)"
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT INT TERM
 
 go build -o "$OUT/microbank" ./cmd/microbank
 "$OUT/microbank" -exp headline -quick -instr 4000 -j 4 -j-intra 2 \
-    -serve "$ADDR" -serve-linger 120s >"$OUT/stdout" 2>"$OUT/stderr" &
+    -serve "$ADDR_REQ" -serve-linger 120s >"$OUT/stdout" 2>"$OUT/stderr" &
 PID=$!
 
-# Wait for the endpoint (bound before the run starts, so this is quick).
+# Resolve the actual bound address from the stderr banner (the server
+# binds before the run starts, so this is quick).
+ADDR=""
+i=0
+while [ -z "$ADDR" ]; do
+    ADDR="$(sed -n 's#^microbank: serving observability on http://\([^ ]*\) .*#\1#p' "$OUT/stderr" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve smoke: serve banner never appeared" >&2
+        cat "$OUT/stderr" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
 i=0
 until curl -sf "http://$ADDR/status" >"$OUT/status.json" 2>/dev/null; do
     i=$((i + 1))
